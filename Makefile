@@ -1,0 +1,23 @@
+# Convenience targets for the verfploeter reproduction.
+
+.PHONY: install test bench examples report all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-verbose:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script > /dev/null || exit 1; done
+
+report:
+	python -m repro paper --scenario broot --scale small --outdir repro-report
+
+all: test bench

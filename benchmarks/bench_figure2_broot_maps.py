@@ -1,0 +1,38 @@
+"""Figure 2: geographic coverage of B-Root, Atlas vs Verfploeter.
+
+The paper's maps show Atlas dense only in Europe/North America while
+Verfploeter covers the populated globe at ~1000x the observation count.
+Rendered here as ASCII maps over 2-degree bins.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.maps import atlas_grid, catchment_grid, render_ascii_map
+
+
+def test_figure2_broot_maps(
+    benchmark, broot, broot_scan_may, broot_atlas_may
+):
+    verf_grid = benchmark.pedantic(
+        lambda: catchment_grid(
+            broot_scan_may.catchment, broot.internet.geodb, cell_degrees=4.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    atlas = atlas_grid(broot_atlas_may, cell_degrees=4.0)
+    print()
+    print("Figure 2a: RIPE Atlas coverage of B-Root")
+    print(render_ascii_map(atlas))
+    print()
+    print("Figure 2b: Verfploeter coverage of B-Root")
+    print(render_ascii_map(verf_grid))
+    atlas_total = sum(atlas.site_totals().values())
+    verf_total = sum(verf_grid.site_totals().values())
+    print(f"observations: Atlas={atlas_total:.0f} VPs, "
+          f"Verfploeter={verf_total:.0f} /24s "
+          f"({verf_total / max(atlas_total, 1):.0f}x)")
+
+    # Shape: Verfploeter populates far more of the world.
+    assert len(verf_grid) > 3 * len(atlas)
+    assert verf_total > 50 * atlas_total

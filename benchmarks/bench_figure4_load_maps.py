@@ -1,0 +1,62 @@
+"""Figure 4: load-weighted geographic maps (B-Root and .nl).
+
+The paper's observations to reproduce: (a) load concentrates in fewer
+hotspots than block counts (resolver concentration); unmappable load
+(UNK) clusters in Korea/Asia; (b) .nl load is Europe-centric.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.maps import load_grid, render_ascii_map, server_load_grid
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import UNKNOWN
+from repro.rng import mix64
+
+
+def test_figure4_load_maps(
+    benchmark, broot, nl, broot_scan_may, broot_estimate_april
+):
+    grid = benchmark.pedantic(
+        lambda: load_grid(
+            broot_scan_may.catchment,
+            broot_estimate_april,
+            broot.internet.geodb,
+            cell_degrees=4.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 4a: geographic distribution of B-Root load by site")
+    print(render_ascii_map(grid))
+
+    nl_estimate = LoadEstimate(nl.day_load("2017-04-12"))
+    nl_grid = server_load_grid(
+        nl_estimate,
+        nl.internet.geodb,
+        server_of_block=lambda block: f"ns{1 + mix64(block) % 4}",
+        cell_degrees=4.0,
+    )
+    print()
+    print("Figure 4b: geographic distribution of .nl load by nameserver")
+    print(render_ascii_map(nl_grid))
+
+    # Shape: unknown (unmappable) load exists and skews Asian.
+    totals = grid.site_totals()
+    assert totals.get(UNKNOWN, 0) > 0
+    # Load is more concentrated than block counts: top 10 cells carry a
+    # large share of total load (resolver hotspots).
+    top = sum(cell.total for cell in grid.top_cells(10))
+    assert top / sum(totals.values()) > 0.3
+
+    # .nl load is Europe-heavy: most load sits in the north-eastern
+    # quadrant cells (lat > 35, lon in [-15, 40]).
+    europe = 0.0
+    total_nl = 0.0
+    for cell in nl_grid.cells():
+        lat = cell.lat_index * nl_grid.cell_degrees - 90.0
+        lon = cell.lon_index * nl_grid.cell_degrees - 180.0
+        total_nl += cell.total
+        if lat > 35.0 and -15.0 <= lon <= 40.0:
+            europe += cell.total
+    assert europe / total_nl > 0.5

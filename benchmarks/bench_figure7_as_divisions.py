@@ -1,0 +1,42 @@
+"""Figure 7: sites seen per AS vs announced prefixes.
+
+Paper: ~12.7% of ASes are served by more than one site, and ASes that
+announce more prefixes tend to see more sites (hot-potato splits in
+big networks).  Uses the stability-filtered catchment (§6.2 removes
+flipping VPs first).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.divisions import (
+    format_as_division_table,
+    multi_site_fraction,
+    prefixes_by_sites_seen,
+)
+
+
+def test_figure7_as_divisions(benchmark, tangled, tangled_series):
+    stable = tangled_series.stable_catchment()
+    data = benchmark.pedantic(
+        lambda: prefixes_by_sites_seen(stable, tangled.internet),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_as_division_table(stable, tangled.internet))
+    print("(paper: 12.7% of ASes see multiple sites; more announced "
+          "prefixes -> more sites)")
+
+    fraction = multi_site_fraction(stable, tangled.internet)
+    assert 0.02 < fraction < 0.40
+
+    # Median announced prefixes should not decrease with sites seen.
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    buckets = sorted(data)
+    if len(buckets) >= 2:
+        low = median(data[buckets[0]])
+        high = median(data[buckets[-1]])
+        assert high >= low

@@ -1,0 +1,44 @@
+"""Figure 8: sites seen per announced BGP prefix, by prefix length.
+
+Paper: short (large) prefixes are usually split across sites — 75% of
+prefixes /10 or shorter see multiple sites — while long prefixes are
+mostly single-site; single-VP-per-prefix measurement loses precision
+exactly where most address space lives.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.divisions import (
+    format_prefix_division_table,
+    prefix_site_distribution,
+)
+
+
+def test_figure8_prefix_divisions(benchmark, tangled, tangled_series):
+    stable = tangled_series.stable_catchment()
+    distribution = benchmark.pedantic(
+        lambda: prefix_site_distribution(stable, tangled.internet),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_prefix_division_table(stable, tangled.internet))
+    print("(paper: most short prefixes split across sites; long "
+          "prefixes are single-site)")
+
+    def multi_fraction(lengths):
+        multi = total = 0
+        for length in lengths:
+            bucket = distribution.get(length, {})
+            total += sum(bucket.values())
+            multi += sum(count for sites, count in bucket.items() if sites > 1)
+        return multi / total if total else 0.0
+
+    lengths = sorted(distribution)
+    assert lengths, "no announced prefixes with mapped blocks"
+    short = [length for length in lengths if length <= 16]
+    long = [length for length in lengths if length >= 20]
+    if short and long:
+        assert multi_fraction(short) > multi_fraction(long)
+    # Long prefixes are overwhelmingly single-site.
+    assert multi_fraction(long) < 0.5

@@ -1,0 +1,48 @@
+"""Table 2: load datasets (queries/day and queries/s).
+
+Regenerates the paper's day-long load datasets: B-Root before anycast
+(one site), B-Root after (split across LAX/MIA), and the .nl-style
+regional workload.  Benchmarks day-load generation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.load.estimator import LoadEstimate
+from repro.load.prediction import measured_site_load
+from repro.traffic.ditl import build_day_load
+
+
+def test_table2_load_datasets(
+    benchmark, broot, nl, broot_routing_may, broot_load_april, broot_load_may
+):
+    rebuilt = benchmark.pedantic(
+        lambda: build_day_load(
+            broot.internet, broot.profile, "2017-05-15", day_index=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rebuilt) > 0
+
+    per_site = measured_site_load(broot_routing_may, LoadEstimate(broot_load_may))
+    nl_load = nl.day_load("2017-04-12", target_total_queries=0.3e6)
+    rows = [
+        ("LB-4-12", "B-Root", "2017-04-12", "LAX (unicast)",
+         broot_load_april.total_queries(), broot_load_april.mean_qps()),
+        ("LB-5-15", "B-Root", "2017-05-15", "both",
+         broot_load_may.total_queries(), broot_load_may.mean_qps()),
+        ("", "", "", "LAX",
+         per_site.daily_of("LAX"), per_site.daily_of("LAX") / 86400.0),
+        ("", "", "", "MIA",
+         per_site.daily_of("MIA"), per_site.daily_of("MIA") / 86400.0),
+        ("LN-4-12", "NL ccTLD", "2017-04-12", "all",
+         nl_load.total_queries(), nl_load.mean_qps()),
+    ]
+    print()
+    print(render_table(
+        ["Id", "Service", "Date", "Site", "q/day", "q/s"],
+        rows,
+        title="Table 2: load datasets (scaled ~1000x down from 2.2G q/day)",
+    ))
+    assert per_site.daily_of("LAX") > per_site.daily_of("MIA") * 0.1

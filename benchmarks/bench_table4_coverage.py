@@ -1,0 +1,28 @@
+"""Table 4: coverage of Atlas vs Verfploeter.
+
+The paper's headline: Verfploeter sees ~430x more /24 blocks than RIPE
+Atlas, and ~77% of Atlas's blocks are also covered.  Benchmarks the
+coverage comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.coverage import format_coverage_table
+from repro.core.comparison import compare_coverage
+
+
+def test_table4_coverage(
+    benchmark, broot, broot_scan_may, broot_atlas_may
+):
+    comparison = benchmark.pedantic(
+        lambda: compare_coverage(broot_atlas_may, broot_scan_may, broot.internet),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_coverage_table(comparison))
+    print("(paper: ratio ~430x, overlap ~77%)")
+    # Shape assertions: the ratio is large and most Atlas blocks overlap.
+    assert comparison.coverage_ratio > 50
+    assert comparison.atlas_overlap_fraction > 0.5
+    assert comparison.verf_unique_blocks > comparison.atlas_unique_blocks

@@ -1,0 +1,25 @@
+"""Table 5: share of the service's real traffic Verfploeter can map.
+
+Paper: 87.1% of traffic-sending blocks (82.4% of queries) are mappable;
+the rest (concentrated in Korea and parts of Asia) never answer pings.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.traffic_coverage import format_traffic_coverage, traffic_coverage
+
+
+def test_table5_traffic_coverage(benchmark, broot_scan_may, broot_estimate_may):
+    coverage = benchmark.pedantic(
+        lambda: traffic_coverage(broot_scan_may.catchment, broot_estimate_may),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_traffic_coverage(coverage))
+    print("(paper: 87.1% of blocks, 82.4% of queries mapped)")
+    assert 0.70 < coverage.block_coverage < 0.95
+    assert 0.65 < coverage.query_coverage < 0.95
+    # Unmappable blocks are traffic-heavy (NAT regions), so query
+    # coverage must not exceed block coverage by much.
+    assert coverage.query_coverage < coverage.block_coverage + 0.05

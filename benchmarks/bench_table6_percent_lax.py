@@ -1,0 +1,76 @@
+"""Table 6: LAX catchment share by measurement method and date.
+
+The paper's calibration table: Atlas VPs, Verfploeter /24s (two dates),
+load-weighted Verfploeter, and the actual measured load.  The key
+findings to reproduce in shape: (1) load weighting moves the estimate
+toward the measured value, and (2) routing drift between dates shifts
+the raw block fractions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.catchment_fractions import MethodRow, format_method_table
+from repro.load.prediction import compare_prediction, measured_site_load
+from repro.load.weighting import weight_catchment
+
+
+def test_table6_percent_lax(
+    benchmark,
+    broot,
+    broot_scan_april,
+    broot_scan_may,
+    broot_atlas_april,
+    broot_atlas_may,
+    broot_estimate_april,
+    broot_estimate_may,
+    broot_routing_may,
+):
+    predicted = benchmark.pedantic(
+        lambda: weight_catchment(broot_scan_may.catchment, broot_estimate_may),
+        rounds=1,
+        iterations=1,
+    )
+    measured = measured_site_load(broot_routing_may, broot_estimate_may)
+    long_range = weight_catchment(broot_scan_april.catchment, broot_estimate_april)
+
+    rows = [
+        MethodRow("2017-04-21", "Atlas",
+                  f"{broot_atlas_april.responding_vps} VPs",
+                  broot_atlas_april.fraction_of("LAX")),
+        MethodRow("2017-05-15", "Atlas",
+                  f"{broot_atlas_may.responding_vps} VPs",
+                  broot_atlas_may.fraction_of("LAX")),
+        MethodRow("2017-04-21", "Verfploeter",
+                  f"{broot_scan_april.mapped_blocks} /24s",
+                  broot_scan_april.catchment.fraction_of("LAX")),
+        MethodRow("2017-05-15", "Verfploeter",
+                  f"{broot_scan_may.mapped_blocks} /24s",
+                  broot_scan_may.catchment.fraction_of("LAX")),
+        MethodRow("2017-05-15", "Verfploeter + load",
+                  f"{predicted.total():,.0f} q/day",
+                  predicted.fraction_of("LAX")),
+        MethodRow("2017-04-21 + LB-4-12", "Verfploeter + load (long range)",
+                  f"{long_range.total():,.0f} q/day",
+                  long_range.fraction_of("LAX")),
+        MethodRow("2017-05-15", "Actual load",
+                  f"{measured.total():,.0f} q/day",
+                  measured.fraction_of("LAX")),
+    ]
+    print()
+    print(format_method_table(rows, "LAX"))
+    comparison = compare_prediction(predicted, measured)
+    print(f"same-day prediction error: {comparison.error_of('LAX'):.1%} "
+          "(paper: 81.6% predicted vs 81.4% measured)")
+    long_error = abs(long_range.fraction_of("LAX") - measured.fraction_of("LAX"))
+    print(f"month-old prediction error: {long_error:.1%} "
+          "(paper: 76.2% predicted vs 81.6% — stale data is worse)")
+
+    # Shape assertions.
+    assert comparison.error_of("LAX") < 0.10
+    block_error = abs(
+        broot_scan_may.catchment.fraction_of("LAX") - measured.fraction_of("LAX")
+    )
+    # Load weighting should not be (much) worse than raw block counts,
+    # and same-day prediction must beat the month-old one.
+    assert comparison.error_of("LAX") <= block_error + 0.05
+    assert comparison.error_of("LAX") <= long_error + 0.05

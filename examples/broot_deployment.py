@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Pre-deployment planning for B-Root's anycast rollout (paper §5.4-5.5).
+
+Walks the paper's operational story: before switching production
+traffic to anycast, announce a *test prefix* from the candidate sites,
+map its catchments with Verfploeter, weight them with historical
+query-load logs from the unicast deployment, and predict how much
+traffic each site will receive.  Then "deploy" and compare the
+prediction against the measured split.
+
+Run:  python examples/broot_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import Verfploeter, broot_like
+from repro.analysis.traffic_coverage import format_traffic_coverage, traffic_coverage
+from repro.load.estimator import LoadEstimate
+from repro.load.prediction import compare_prediction, measured_site_load
+from repro.load.weighting import weight_catchment
+from repro.netaddr.prefix import Prefix
+
+
+def main() -> None:
+    scenario = broot_like(scale="small")
+
+    # --- step 1: measure catchments on a test prefix --------------------
+    # The production /24 is announced alongside a covering /23; the
+    # unused half serves as the test prefix, hitting the same BGP
+    # policies without touching production traffic.
+    test_service = scenario.service.test_prefix_clone(Prefix("199.9.15.0/24"))
+    verfploeter = Verfploeter(scenario.internet, test_service)
+    routing = verfploeter.routing_for()
+    scan = verfploeter.run_scan(routing=routing, dataset_id="SBV-test-prefix")
+    print(f"test-prefix scan mapped {scan.mapped_blocks} /24s")
+    print("block-count split:",
+          {k: f"{v:.1%}" for k, v in sorted(scan.catchment.fractions().items())})
+
+    # --- step 2: calibrate with historical load -------------------------
+    # Day-long query logs from the unicast deployment give per-/24
+    # weights; raw block counts over-count quiet networks.
+    history = scenario.day_load("2017-04-12", target_total_queries=2.2e6)
+    estimate = LoadEstimate(history)
+    print(f"\nhistorical load: {history.total_queries():,.0f} queries/day "
+          f"from {len(history)} /24s")
+
+    coverage = traffic_coverage(scan.catchment, estimate)
+    print(format_traffic_coverage(coverage))
+
+    prediction = weight_catchment(scan.catchment, estimate)
+    print("\nload-weighted prediction:")
+    for site in scenario.service.site_codes:
+        print(f"  {site}: {prediction.fraction_of(site):.1%} of known load")
+    print(f"  unmappable load: {prediction.unknown_fraction():.1%} "
+          "(assumed to split like mapped load)")
+
+    # --- step 3: deploy and validate -------------------------------------
+    # After deployment the service's own logs reveal the true split:
+    # every block's traffic lands somewhere, ping-responsive or not.
+    measured = measured_site_load(routing, estimate)
+    comparison = compare_prediction(prediction, measured)
+    print("\npredicted vs measured load share:")
+    for site in scenario.service.site_codes:
+        print(f"  {site}: predicted {comparison.predicted[site]:.1%}  "
+              f"measured {comparison.measured[site]:.1%}  "
+              f"(error {comparison.error_of(site):.1%})")
+    print(f"worst-site error: {comparison.max_error():.1%} — "
+          "load-weighted Verfploeter predicts deployment load closely, "
+          "as the paper found (81.6% predicted vs 81.4% measured).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Verfploeter reproduction: broad, load-aware anycast catchment mapping.
+
+Reproduction of de Vries et al., "Broad and Load-Aware Anycast Mapping
+with Verfploeter" (IMC 2017), over a fully synthetic but
+behaviour-faithful Internet substrate.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import broot_like, Verfploeter
+
+    scenario = broot_like(scale="small")
+    vp = Verfploeter(scenario.internet, scenario.service)
+    scan = vp.run_scan()
+    print(scan.catchment.fractions())
+"""
+
+from repro.anycast import AnycastService, AnycastSite, CatchmentMap
+from repro.bgp import AnnouncementPolicy, compute_routes
+from repro.core import (
+    Scenario,
+    ScanResult,
+    Verfploeter,
+    broot_like,
+    compare_coverage,
+    nl_like,
+    prepend_sweep,
+    run_stability_series,
+    tangled_like,
+)
+from repro.core.scenarios import cdn_like
+from repro.errors import ReproError
+from repro.load import LoadEstimate, weight_catchment
+from repro.topology import Internet, TopologyConfig, build_internet
+from repro.traffic import DayLoad, LoadKind, build_day_load
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "AnycastService",
+    "AnycastSite",
+    "CatchmentMap",
+    "AnnouncementPolicy",
+    "compute_routes",
+    "Internet",
+    "TopologyConfig",
+    "build_internet",
+    "Verfploeter",
+    "ScanResult",
+    "Scenario",
+    "broot_like",
+    "tangled_like",
+    "nl_like",
+    "cdn_like",
+    "compare_coverage",
+    "prepend_sweep",
+    "run_stability_series",
+    "DayLoad",
+    "LoadKind",
+    "build_day_load",
+    "LoadEstimate",
+    "weight_catchment",
+]

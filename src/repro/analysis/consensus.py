@@ -1,0 +1,75 @@
+"""Consensus catchments across repeated scans.
+
+A single round misses churned blocks (paper §3.1: "we could improve
+the response rate by ... retrying"); merging several rounds raises
+coverage, and per-block agreement across rounds grades how trustworthy
+each mapping is — the flip-prone blocks of §6.3 show up as low
+agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.anycast.catchment import CatchmentMap
+from repro.core.verfploeter import ScanResult
+from repro.errors import DatasetError
+
+
+def merge_scans(scans: Sequence[ScanResult]) -> CatchmentMap:
+    """Majority-vote catchment over several rounds.
+
+    Every block seen in any round is mapped; the site seen most often
+    wins (ties break toward the most recent round — routing now beats
+    routing then).
+    """
+    if not scans:
+        raise DatasetError("cannot merge zero scans")
+    site_codes = scans[0].catchment.site_codes
+    votes: Dict[int, Dict[str, int]] = {}
+    latest: Dict[int, str] = {}
+    for scan in sorted(scans, key=lambda s: s.round_id):
+        for block, site in scan.catchment.items():
+            votes.setdefault(block, {})
+            votes[block][site] = votes[block].get(site, 0) + 1
+            latest[block] = site
+    mapping: Dict[int, str] = {}
+    for block, counts in votes.items():
+        best = max(counts.values())
+        winners = [site for site, count in counts.items() if count == best]
+        mapping[block] = latest[block] if latest[block] in winners else winners[0]
+    return CatchmentMap(site_codes, mapping)
+
+
+def agreement_scores(scans: Sequence[ScanResult]) -> Dict[int, float]:
+    """Per-block agreement: modal-site share of the rounds that saw it.
+
+    1.0 means every observation agreed; flip-prone blocks score lower.
+    """
+    if not scans:
+        raise DatasetError("cannot score zero scans")
+    votes: Dict[int, Dict[str, int]] = {}
+    for scan in scans:
+        for block, site in scan.catchment.items():
+            votes.setdefault(block, {})
+            votes[block][site] = votes[block].get(site, 0) + 1
+    return {
+        block: max(counts.values()) / sum(counts.values())
+        for block, counts in votes.items()
+    }
+
+
+def coverage_gain(scans: Sequence[ScanResult]) -> List[Tuple[int, int]]:
+    """Cumulative distinct blocks after each successive round.
+
+    The marginal gain shrinks fast: round one finds the stable
+    responders; later rounds only recover churn.
+    """
+    if not scans:
+        raise DatasetError("cannot analyse zero scans")
+    seen: set = set()
+    series: List[Tuple[int, int]] = []
+    for scan in sorted(scans, key=lambda s: s.round_id):
+        seen.update(scan.catchment.blocks())
+        series.append((scan.round_id, len(seen)))
+    return series

@@ -1,0 +1,61 @@
+"""Table 4: coverage of Atlas vs Verfploeter."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.comparison import CoverageComparison
+
+
+def coverage_rows(comparison: CoverageComparison) -> List[Tuple[str, int, int, int]]:
+    """The paper's Table 4 rows: (label, Atlas VPs, Atlas /24s, Verf /24s)."""
+    return [
+        (
+            "considered",
+            comparison.atlas_considered_vps,
+            comparison.atlas_considered_blocks,
+            comparison.verf_considered_blocks,
+        ),
+        (
+            "non-responding",
+            comparison.atlas_nonresponding_vps,
+            comparison.atlas_nonresponding_blocks,
+            comparison.verf_nonresponding_blocks,
+        ),
+        (
+            "responding",
+            comparison.atlas_responding_vps,
+            comparison.atlas_responding_blocks,
+            comparison.verf_responding_blocks,
+        ),
+        ("no location", 0, 0, comparison.verf_no_location_blocks),
+        (
+            "geolocatable",
+            comparison.atlas_responding_vps,
+            comparison.atlas_geolocatable_blocks,
+            comparison.verf_geolocatable_blocks,
+        ),
+        (
+            "unique",
+            0,
+            comparison.atlas_unique_blocks,
+            comparison.verf_unique_blocks,
+        ),
+    ]
+
+
+def format_coverage_table(comparison: CoverageComparison) -> str:
+    """Render Table 4 plus the headline coverage ratio."""
+    table = render_table(
+        ["", "Atlas (VPs)", "Atlas (/24s)", "Verfploeter (/24s)"],
+        coverage_rows(comparison),
+        title="Table 4: coverage of the two measurement systems",
+    )
+    return (
+        f"{table}\n"
+        f"coverage ratio (Verfploeter responding /24s / Atlas responding /24s): "
+        f"{comparison.coverage_ratio:.0f}x\n"
+        f"Atlas blocks also seen by Verfploeter: "
+        f"{comparison.atlas_overlap_fraction:.0%}"
+    )

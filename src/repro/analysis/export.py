@@ -1,0 +1,86 @@
+"""Figure-data export: TSV series for external plotting.
+
+The benchmark harness prints tables; this module writes the underlying
+series as plain TSV files so the figures can be replotted with any
+tool — the form in which the paper's own datasets were released.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.divisions import prefix_site_distribution
+from repro.anycast.catchment import CatchmentMap
+from repro.core.experiments import PrependMeasurement, StabilitySeries
+from repro.geo.grid import GeoGrid
+from repro.topology.internet import Internet
+
+
+def export_prepend_series(
+    measurements: Sequence[PrependMeasurement],
+    site_code: str,
+    path: Path,
+) -> None:
+    """Figure 5 series: config, Atlas fraction, Verfploeter fraction."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("config\tatlas_fraction\tverfploeter_fraction\n")
+        for entry in measurements:
+            stream.write(
+                f"{entry.label}\t{entry.atlas_fraction_of(site_code):.6f}\t"
+                f"{entry.verfploeter_fraction_of(site_code):.6f}\n"
+            )
+
+
+def export_stability_series(series: StabilitySeries, path: Path) -> None:
+    """Figure 9 series: per-round stable/flipped/to-NR/from-NR counts."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("round\tstable\tflipped\tto_nr\tfrom_nr\n")
+        for entry in series.rounds:
+            stream.write(
+                f"{entry.round_id}\t{entry.stable}\t{entry.flipped}\t"
+                f"{entry.to_nr}\t{entry.from_nr}\n"
+            )
+
+
+def export_hourly_series(
+    hourly: Dict[str, Dict[str, np.ndarray]], path: Path
+) -> None:
+    """Figure 6 series: config, site, then 24 hourly q/s columns."""
+    with open(path, "w", encoding="utf-8") as stream:
+        hour_headers = "\t".join(f"h{hour:02d}" for hour in range(24))
+        stream.write(f"config\tsite\t{hour_headers}\n")
+        for label, sites in hourly.items():
+            for site, values in sites.items():
+                cells = "\t".join(f"{value:.4f}" for value in values)
+                stream.write(f"{label}\t{site}\t{cells}\n")
+
+
+def export_prefix_division_series(
+    catchment: CatchmentMap, internet: Internet, path: Path, max_sites: int = 6
+) -> None:
+    """Figure 8 series: prefix length, total, fraction per site count."""
+    distribution = prefix_site_distribution(catchment, internet)
+    with open(path, "w", encoding="utf-8") as stream:
+        site_headers = "\t".join(f"sites_{n}" for n in range(1, max_sites + 1))
+        stream.write(f"prefix_length\tprefixes\t{site_headers}\n")
+        for length in sorted(distribution):
+            bucket = distribution[length]
+            total = sum(bucket.values())
+            fractions = "\t".join(
+                f"{bucket.get(n, 0) / total:.4f}" for n in range(1, max_sites + 1)
+            )
+            stream.write(f"{length}\t{total}\t{fractions}\n")
+
+
+def export_grid(grid: GeoGrid, path: Path) -> None:
+    """Map series (Figures 2-4): one row per populated cell per site."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write("lat\tlon\tsite\tweight\n")
+        for cell in grid.cells():
+            lat = cell.lat_index * grid.cell_degrees - 90.0
+            lon = cell.lon_index * grid.cell_degrees - 180.0
+            for site, weight in sorted(cell.weights.items()):
+                stream.write(f"{lat:.1f}\t{lon:.1f}\t{site}\t{weight:.4f}\n")

@@ -1,0 +1,112 @@
+"""Anycast latency inflation.
+
+BGP picks the *policy*-closest site, not the latency-closest one; the
+gap is the latency inflation operators hunt for (the paper's companion
+work, Schmidt et al. "Anycast latency: how many sites are enough?"
+[43], which §7 suggests Verfploeter RTTs can feed).  This module
+compares each mapped block's measured RTT against its optimal-site RTT
+and summarises the inflation distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.verfploeter import ScanResult
+from repro.icmp.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class InflationSummary:
+    """Distribution of per-block latency inflation (measured - optimal)."""
+
+    blocks: int
+    optimal_blocks: int
+    median_ms: float
+    p90_ms: float
+    worst_ms: float
+    mean_measured_ms: float
+    mean_optimal_ms: float
+
+    @property
+    def optimal_fraction(self) -> float:
+        """Share of blocks already served by their latency-best site."""
+        return self.optimal_blocks / self.blocks if self.blocks else 0.0
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def inflation_per_block(
+    scan: ScanResult, latency: LatencyModel, round_id: int = 0
+) -> Dict[int, Tuple[float, float, str]]:
+    """Per mapped block: (measured RTT, optimal RTT, optimal site).
+
+    Measured RTT comes from the scan; the optimal RTT is the best any
+    site could offer under the same latency model.  Blocks without
+    geolocation are skipped (their optimum is unknowable).
+    """
+    result: Dict[int, Tuple[float, float, str]] = {}
+    if not scan.rtts:
+        return result
+    for block, measured in scan.rtts.items():
+        best_site: Optional[str] = None
+        best_rtt: Optional[float] = None
+        for site_code in scan.catchment.site_codes:
+            rtt = latency.rtt_ms(block, site_code, round_id)
+            if rtt is not None and (best_rtt is None or rtt < best_rtt):
+                best_rtt, best_site = rtt, site_code
+        if best_rtt is None:
+            continue
+        result[block] = (measured, best_rtt, best_site)
+    return result
+
+
+def summarize_inflation(
+    scan: ScanResult, latency: LatencyModel, round_id: int = 0
+) -> InflationSummary:
+    """Aggregate the per-block inflation into the headline numbers."""
+    per_block = inflation_per_block(scan, latency, round_id)
+    inflations: List[float] = []
+    optimal = 0
+    measured_sum = 0.0
+    optimal_sum = 0.0
+    for block, (measured, best, best_site) in per_block.items():
+        inflation = max(0.0, measured - best)
+        inflations.append(inflation)
+        measured_sum += measured
+        optimal_sum += best
+        if scan.catchment.site_of(block) == best_site:
+            optimal += 1
+    count = len(inflations)
+    return InflationSummary(
+        blocks=count,
+        optimal_blocks=optimal,
+        median_ms=_percentile(inflations, 0.50),
+        p90_ms=_percentile(inflations, 0.90),
+        worst_ms=max(inflations, default=0.0),
+        mean_measured_ms=measured_sum / count if count else 0.0,
+        mean_optimal_ms=optimal_sum / count if count else 0.0,
+    )
+
+
+def format_inflation_table(summary: InflationSummary) -> str:
+    """Render the inflation summary."""
+    rows = [
+        ("blocks analysed", summary.blocks),
+        ("served by latency-best site", f"{summary.optimal_fraction:.1%}"),
+        ("median inflation (ms)", f"{summary.median_ms:.0f}"),
+        ("p90 inflation (ms)", f"{summary.p90_ms:.0f}"),
+        ("worst inflation (ms)", f"{summary.worst_ms:.0f}"),
+        ("mean measured RTT (ms)", f"{summary.mean_measured_ms:.0f}"),
+        ("mean optimal RTT (ms)", f"{summary.mean_optimal_ms:.0f}"),
+    ]
+    return render_table(["metric", "value"], rows,
+                        title="Anycast latency inflation (BGP vs optimal)")

@@ -1,0 +1,61 @@
+"""Fixed-width text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Numbers are right-aligned, everything else left-aligned; floats are
+    shown with sensible precision.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) < 1:
+                return f"{value:.4f}"
+            return f"{value:,.2f}"
+        if isinstance(value, int):
+            return f"{value:,}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def align(cell: str, index: int, numeric: bool) -> str:
+        return cell.rjust(widths[index]) if numeric else cell.ljust(widths[index])
+
+    numeric_columns = [
+        all(
+            row[index].replace(",", "").replace(".", "").replace("-", "").isdigit()
+            or row[index] in ("", "0")
+            for row in text_rows
+            if index < len(row) and row[index]
+        )
+        for index in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                align(cell, index, numeric_columns[index])
+                for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

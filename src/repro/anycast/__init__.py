@@ -1,0 +1,7 @@
+"""Anycast service model: sites, the service itself, and catchment maps."""
+
+from repro.anycast.catchment import CatchmentMap
+from repro.anycast.service import AnycastService
+from repro.anycast.site import AnycastSite
+
+__all__ = ["AnycastSite", "AnycastService", "CatchmentMap"]

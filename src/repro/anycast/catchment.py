@@ -1,0 +1,105 @@
+"""Catchment maps: which /24 block is served by which site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+UNKNOWN_SITE = "UNK"
+
+
+@dataclass(frozen=True)
+class CatchmentDiff:
+    """Differences between two catchment maps over a common site set."""
+
+    stable: int
+    flipped: int
+    appeared: int
+    disappeared: int
+    flipped_blocks: Tuple[int, ...]
+
+
+class CatchmentMap:
+    """Immutable-ish mapping of /24 block -> anycast site code."""
+
+    def __init__(self, site_codes: Iterable[str], mapping: Mapping[int, str]) -> None:
+        self._site_codes: List[str] = list(site_codes)
+        self._mapping: Dict[int, str] = dict(mapping)
+
+    @property
+    def site_codes(self) -> List[str]:
+        """All site codes this map may reference."""
+        return list(self._site_codes)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._mapping
+
+    def site_of(self, block: int) -> Optional[str]:
+        """Site serving ``block``, or None when unmapped."""
+        return self._mapping.get(block)
+
+    def blocks(self) -> Iterator[int]:
+        """All mapped blocks."""
+        return iter(self._mapping)
+
+    def items(self) -> Iterator[Tuple[int, str]]:
+        """All ``(block, site)`` pairs."""
+        return iter(self._mapping.items())
+
+    def blocks_of_site(self, site_code: str) -> List[int]:
+        """Blocks in the catchment of ``site_code``."""
+        return [block for block, site in self._mapping.items() if site == site_code]
+
+    def counts(self) -> Dict[str, int]:
+        """Blocks per site (sites with zero blocks included)."""
+        counts = {code: 0 for code in self._site_codes}
+        for site in self._mapping.values():
+            counts[site] = counts.get(site, 0) + 1
+        return counts
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of mapped blocks per site."""
+        total = len(self._mapping)
+        if total == 0:
+            return {code: 0.0 for code in self._site_codes}
+        return {code: count / total for code, count in self.counts().items()}
+
+    def fraction_of(self, site_code: str) -> float:
+        """Share of mapped blocks served by ``site_code``."""
+        return self.fractions().get(site_code, 0.0)
+
+    def restrict(self, blocks: Iterable[int]) -> "CatchmentMap":
+        """A new map containing only ``blocks`` (those that are mapped)."""
+        keep = set(blocks)
+        return CatchmentMap(
+            self._site_codes,
+            {block: site for block, site in self._mapping.items() if block in keep},
+        )
+
+    def diff(self, later: "CatchmentMap") -> CatchmentDiff:
+        """Compare with a ``later`` map: stable/flipped/appeared/disappeared.
+
+        Matches the paper's Figure 9 categories: *flipped* blocks are
+        mapped in both rounds but to different sites; *appeared*
+        (from-NR) are only in the later round; *disappeared* (to-NR)
+        only in the earlier.
+        """
+        stable = 0
+        flipped: List[int] = []
+        earlier_blocks: Set[int] = set(self._mapping)
+        later_blocks: Set[int] = set(later._mapping)
+        for block in earlier_blocks & later_blocks:
+            if self._mapping[block] == later._mapping[block]:
+                stable += 1
+            else:
+                flipped.append(block)
+        return CatchmentDiff(
+            stable=stable,
+            flipped=len(flipped),
+            appeared=len(later_blocks - earlier_blocks),
+            disappeared=len(earlier_blocks - later_blocks),
+            flipped_blocks=tuple(sorted(flipped)),
+        )

@@ -1,0 +1,13 @@
+"""RIPE Atlas platform simulation.
+
+Models the measurement platform the paper compares against: ~10k
+physical vantage points whose deployment is heavily skewed toward
+Europe (well documented in [8] and visible in the paper's Figure 2a),
+querying the anycast service with CHAOS TXT ``hostname.bind`` to learn
+their serving site.
+"""
+
+from repro.atlas.platform import AtlasMeasurement, AtlasPlatform, AtlasResult
+from repro.atlas.vp import AtlasVP
+
+__all__ = ["AtlasVP", "AtlasPlatform", "AtlasMeasurement", "AtlasResult"]

@@ -1,0 +1,21 @@
+"""Atlas vantage points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AtlasVP:
+    """One physical Atlas probe.
+
+    Unlike Verfploeter's passive VPs, each Atlas VP is a deployed device
+    with registered geolocation (always known) living in some /24 block
+    of the Internet.
+    """
+
+    vp_id: int
+    block: int
+    country_code: str
+    latitude: float
+    longitude: float

@@ -1,0 +1,38 @@
+"""BGP policy routing over the synthetic topology.
+
+Implements Gao-Rexford route propagation (customer > peer > provider
+local preference, then shortest AS path, then a deterministic arbitrary
+tie-break), AS-path prepending for traffic engineering (paper §6.1), and
+the per-packet load-balancing instability model behind the paper's
+catchment-flip observations (§6.3, Table 7).
+"""
+
+from repro.bgp.instability import FlipModel, FlipModelConfig
+from repro.bgp.policy import AnnouncementPolicy, SiteAnnouncement
+from repro.bgp.propagation import (
+    RoutingConfig,
+    RoutingOutcome,
+    RouteSelection,
+    compute_routes,
+)
+from repro.bgp.ribdump import OriginLookup, read_rib_dump, write_rib_dump
+from repro.bgp.updates import BgpUpdateSimulator, UpdateOutcome
+from repro.bgp.route import CandidateRoute, RouteClass
+
+__all__ = [
+    "RouteClass",
+    "CandidateRoute",
+    "SiteAnnouncement",
+    "AnnouncementPolicy",
+    "RouteSelection",
+    "RoutingOutcome",
+    "compute_routes",
+    "FlipModel",
+    "FlipModelConfig",
+    "RoutingConfig",
+    "OriginLookup",
+    "read_rib_dump",
+    "write_rib_dump",
+    "BgpUpdateSimulator",
+    "UpdateOutcome",
+]

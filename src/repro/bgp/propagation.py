@@ -1,0 +1,538 @@
+"""Gao-Rexford route propagation.
+
+Computes, for every AS, the route it selects toward the anycast prefix
+under a given :class:`AnnouncementPolicy`, in three phases:
+
+1. **Up**: customer-learned routes climb the customer->provider DAG
+   (Dijkstra on routing cost — prepending inflates the initial cost at
+   each site's upstream).
+2. **Across**: ASes holding customer routes export them to peers.
+3. **Down**: every AS exports its best route to its customers; routes
+   descend the provider->customer DAG.
+
+Selection at each AS: best class (customer > peer > provider), then
+lowest routing cost, then a deterministic pseudo-random tie-break (real
+BGP ties break on router ids, which are arbitrary from our viewpoint;
+hashing avoids the systematic low-ASN bias of a lexicographic rule).
+
+Three realism knobs (see :class:`RoutingConfig`):
+
+* **edge jitter** — each adjacency carries a deterministic extra cost
+  of 0-2 on top of the one AS hop, modelling MEDs/intra-AS policy, so
+  path-cost differences between two anycast sites spread over several
+  values and AS-path prepending (paper §6.1) shifts catchments
+  *gradually* rather than all at once;
+* **pinned providers** — a fraction of customer->provider adjacencies
+  are pinned by local policy: the customer prefers that provider for
+  this prefix regardless of path length, modelling the ASes the paper
+  observes "that choose to ignore prepending";
+* **PoP slack** — multi-PoP ASes let each PoP pick independently among
+  routes within ``pop_slack`` of the best (hot-potato routing), which
+  is what divides large ASes across catchments (paper §6.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.anycast.catchment import CatchmentMap
+from repro.bgp.instability import FlipModel
+from repro.bgp.policy import AnnouncementPolicy
+from repro.bgp.route import CandidateRoute, RouteClass
+from repro.errors import ConfigurationError, RoutingError
+from repro.rng import mix64, uniform_unit
+from repro.topology.asys import PoP
+from repro.topology.internet import Internet
+
+_SERVICE_NEIGHBOR = 0  # sentinel neighbour ASN for routes heard from the service
+_INF = 1 << 30
+_EDGE_SALT = 0x45444745
+_PIN_SALT = 0x50494E53
+_DRIFT_SALT = 0x44524946
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Knobs controlling routing realism (see module docstring)."""
+
+    jitter_weights: Tuple[float, ...] = (0.70, 0.20, 0.10)
+    pin_probability: float = 0.10
+    pop_slack: int = 1
+    era: int = 0
+    era_drift_probability: float = 0.20
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.jitter_weights) - 1.0) > 1e-9:
+            raise ConfigurationError("jitter_weights must sum to 1")
+        if not 0.0 <= self.pin_probability <= 1.0:
+            raise ConfigurationError("pin_probability must be in [0, 1]")
+        if self.pop_slack < 0:
+            raise ConfigurationError("pop_slack must be >= 0")
+        if not 0.0 <= self.era_drift_probability <= 1.0:
+            raise ConfigurationError("era_drift_probability must be in [0, 1]")
+
+
+@dataclass
+class RouteSelection:
+    """The route an AS selected, plus equally/nearly-preferred alternatives."""
+
+    asn: int
+    route_class: int
+    path_length: int
+    primary_site: str
+    candidates: Tuple[CandidateRoute, ...]
+    near_routes: Tuple[Tuple[int, str], ...] = ()
+    alternate_site: Optional[str] = None
+    pinned: bool = False
+    #: The selected route's AS path as this AS would export it: itself
+    #: first, the service's sentinel ASN (0) last, repeated once per
+    #: prepend.  Follows the *primary* candidate; at multi-exit points
+    #: the hot-potato site split is not reflected here.
+    as_path: Tuple[int, ...] = ()
+
+    @property
+    def candidate_sites(self) -> Tuple[str, ...]:
+        """Distinct sites reachable through equally-preferred routes."""
+        seen: List[str] = []
+        for candidate in self.candidates:
+            if candidate.site_code not in seen:
+                seen.append(candidate.site_code)
+        return tuple(seen)
+
+    @property
+    def pop_sites(self) -> Tuple[str, ...]:
+        """Distinct sites within slack of the best route, best first."""
+        return tuple(site for _, site in self.near_routes)
+
+    def _weighted_pick(self, hash_value: int) -> str:
+        """Pick a near site, weighted toward cheaper routes.
+
+        Weight halves per unit of extra cost (8/4/2/1), so closer
+        routes win most of the time and prepending — which changes the
+        deltas — shifts the distribution *monotonically* instead of
+        reshuffling a uniform choice.
+        """
+        if not self.near_routes:
+            return self.primary_site
+        if len(self.near_routes) == 1:
+            return self.near_routes[0][1]
+        weights = [8 >> min(delta, 3) for delta, _ in self.near_routes]
+        total = sum(weights)
+        draw = hash_value % total
+        for weight, (_, site) in zip(weights, self.near_routes):
+            if draw < weight:
+                return site
+            draw -= weight
+        return self.near_routes[-1][1]
+
+    def site_for_importer(self, importer_asn: int) -> str:
+        """Site this AS's export leads to, as seen by ``importer_asn``.
+
+        A multi-exit AS (several nearly-equal routes to different sites)
+        hands different neighbours different effective exits depending on
+        where they connect — the entry point picks the egress under
+        hot-potato routing.  Deterministic per (this AS, importer) so
+        catchments are stable across rounds.
+        """
+        return self._weighted_pick(
+            mix64(self.asn * 0x9E3779B1 ^ importer_asn * 0x85EBCA6B)
+        )
+
+    def site_for_pop(self, pop_id: int) -> str:
+        """Site a given PoP of this AS egresses to (hot-potato)."""
+        return self._weighted_pick(mix64(pop_id * 0x51ED + 17))
+
+
+def edge_cost(seed: int, config: RoutingConfig, importer: int, exporter: int) -> int:
+    """Routing cost of importing a route from ``exporter`` (shared).
+
+    One AS hop plus deterministic jitter (MEDs / intra-AS policy), with
+    optional per-era re-rolls modelling routing drift over time.  Both
+    the analytic propagator and the event-driven update simulator use
+    this function, so their route costs are comparable.
+    """
+    edge_id = importer * 131071 + exporter
+    draw = uniform_unit(seed, _EDGE_SALT, edge_id)
+    era = config.era
+    if era and (
+        uniform_unit(seed, _DRIFT_SALT, edge_id) < config.era_drift_probability
+    ):
+        draw = uniform_unit(seed, _DRIFT_SALT, edge_id, era)
+    jitter = len(config.jitter_weights) - 1
+    cumulative = 0.0
+    for level, weight in enumerate(config.jitter_weights):
+        cumulative += weight
+        if draw < cumulative:
+            jitter = level
+            break
+    return 1 + jitter
+
+
+def is_pinned(seed: int, config: RoutingConfig, customer: int, provider: int) -> bool:
+    """Whether ``customer`` pins ``provider`` for the anycast prefix (shared)."""
+    return (
+        uniform_unit(seed, _PIN_SALT, customer * 524287 + provider)
+        < config.pin_probability
+    )
+
+
+def _near_tuple(near: Dict[str, int]) -> Tuple[Tuple[int, str], ...]:
+    """Sort (site -> delta) into the (delta, site) tuples a selection stores."""
+    return tuple(sorted((delta, site) for site, delta in near.items()))
+
+
+def _tie_hash(asn: int, neighbor: int, site_code: str) -> int:
+    site_hash = int.from_bytes(site_code.encode("utf-8")[:8].ljust(8, b"\0"), "little")
+    return mix64(mix64(asn * 0x9E37 + neighbor) ^ site_hash)
+
+
+class RoutingOutcome:
+    """Result of one propagation: per-AS selections and catchment queries."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        policy: AnnouncementPolicy,
+        selections: Dict[int, RouteSelection],
+        flip_model: FlipModel,
+    ) -> None:
+        self.internet = internet
+        self.policy = policy
+        self.selections = selections
+        self.flip_model = flip_model
+        self._pop_site_cache: Dict[int, str] = {}
+
+    def selection_of(self, asn: int) -> Optional[RouteSelection]:
+        """The selected route at ``asn`` (None if the prefix never reached it)."""
+        return self.selections.get(asn)
+
+    def site_of_asn(self, asn: int) -> Optional[str]:
+        """Primary site selected by ``asn``."""
+        selection = self.selections.get(asn)
+        return selection.primary_site if selection is not None else None
+
+    def site_of_pop(self, pop: PoP) -> Optional[str]:
+        """Site a given PoP egresses to (hot-potato over the candidate set)."""
+        cached = self._pop_site_cache.get(pop.pop_id)
+        if cached is not None:
+            return cached
+        selection = self.selections.get(pop.asn)
+        if selection is None:
+            return None
+        site = selection.site_for_pop(pop.pop_id)
+        self._pop_site_cache[pop.pop_id] = site
+        return site
+
+    def site_of_block(self, block: int, round_id: Optional[int] = None) -> Optional[str]:
+        """Site that traffic from ``block`` reaches.
+
+        With ``round_id`` given, flipper ASes may divert individual
+        blocks to their alternate route for that round (per-packet load
+        balancing, paper §6.3).
+        """
+        if not self.internet.has_block(block):
+            return None
+        pop = self.internet.pop_of_block(block)
+        base_site = self.site_of_pop(pop)
+        if base_site is None:
+            return None
+        if round_id is None:
+            return base_site
+        selection = self.selections[pop.asn]
+        asys = self.internet.ases[pop.asn]
+        return self.flip_model.site_for(asys, selection, base_site, block, round_id)
+
+    def catchment_map(self, round_id: Optional[int] = None) -> CatchmentMap:
+        """Catchment of every populated block (site per block)."""
+        mapping: Dict[int, str] = {}
+        for block in self.internet.blocks:
+            site = self.site_of_block(block, round_id)
+            if site is not None:
+                mapping[block] = site
+        return CatchmentMap(self.policy.site_codes, mapping)
+
+    def reachable_fraction(self) -> float:
+        """Fraction of ASes that received any route (sanity metric)."""
+        if not self.internet.ases:
+            return 0.0
+        return len(self.selections) / len(self.internet.ases)
+
+
+class _Propagator:
+    """Holds working state of one propagation run."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        policy: AnnouncementPolicy,
+        config: RoutingConfig,
+    ) -> None:
+        self.internet = internet
+        self.policy = policy
+        self.config = config
+        self.graph = internet.graph
+        self.seed = internet.seed
+        self.selections: Dict[int, RouteSelection] = {}
+        self._edge_cache: Dict[Tuple[int, int], int] = {}
+
+    def edge_cost(self, importer: int, exporter: int) -> int:
+        """Cached shared edge cost (see module-level :func:`edge_cost`)."""
+        key = (importer, exporter)
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            return cached
+        cost = edge_cost(self.seed, self.config, importer, exporter)
+        self._edge_cache[key] = cost
+        return cost
+
+    def slack_for(self, asn: int) -> int:
+        """Near-candidate slack for ``asn``.
+
+        Multi-PoP ASes hold eBGP sessions at many locations and see a
+        wider spread of nearly-equal routes, so they get one extra unit
+        of slack — this is the lever behind intra-AS catchment splits
+        (paper §6.2) without perturbing single-PoP catchments.
+        """
+        base = self.config.pop_slack
+        if self.internet.ases[asn].is_multi_pop:
+            return base + 2
+        return base
+
+    def is_pinned(self, customer: int, provider: int) -> bool:
+        """Shared pin draw (see module-level :func:`is_pinned`)."""
+        return is_pinned(self.seed, self.config, customer, provider)
+
+    # -- phases ------------------------------------------------------------
+
+    def run(self) -> Dict[int, RouteSelection]:
+        cust_dist = self._phase_up()
+        self._resolve_customer(cust_dist)
+        self._phase_peers(cust_dist)
+        self._phase_down()
+        self._assign_alternates()
+        return self.selections
+
+    def _phase_up(self) -> Dict[int, int]:
+        """Dijkstra of customer-learned routes up the provider DAG."""
+        cust_dist: Dict[int, int] = {}
+        heap: List[Tuple[int, int]] = []
+        self._origin_entries: Dict[int, List[CandidateRoute]] = {}
+        for announcement in self.policy.announcements:
+            upstream = announcement.upstream_asn
+            if upstream not in self.internet.ases:
+                raise RoutingError(
+                    f"upstream AS{upstream} for site {announcement.site_code} "
+                    "does not exist in the topology"
+                )
+            length = announcement.effective_length
+            self._origin_entries.setdefault(upstream, []).append(
+                CandidateRoute(
+                    _SERVICE_NEIGHBOR, announcement.site_code, length, RouteClass.CUSTOMER
+                )
+            )
+            if length < cust_dist.get(upstream, _INF):
+                cust_dist[upstream] = length
+                heapq.heappush(heap, (length, upstream))
+        while heap:
+            length, asn = heapq.heappop(heap)
+            if length > cust_dist.get(asn, _INF):
+                continue
+            for provider in self.graph.providers_of(asn):
+                candidate = length + self.edge_cost(provider, asn)
+                if candidate < cust_dist.get(provider, _INF):
+                    cust_dist[provider] = candidate
+                    heapq.heappush(heap, (candidate, provider))
+        return cust_dist
+
+    def _resolve_customer(self, cust_dist: Dict[int, int]) -> None:
+        """Pick primaries for customer-route holders in distance order."""
+        for asn in sorted(cust_dist, key=lambda a: (cust_dist[a], a)):
+            slack = self.slack_for(asn)
+            best = cust_dist[asn]
+            exact: List[CandidateRoute] = []
+            near: Dict[str, int] = {}
+            for entry in self._origin_entries.get(asn, []):
+                if entry.path_length == best:
+                    exact.append(entry)
+                delta = entry.path_length - best
+                if delta <= slack:
+                    near[entry.site_code] = min(near.get(entry.site_code, 99), delta)
+            for customer in self.graph.customers_of(asn):
+                customer_dist = cust_dist.get(customer)
+                if customer_dist is None:
+                    continue
+                arrival = customer_dist + self.edge_cost(asn, customer)
+                neighbor_selection = self.selections.get(customer)
+                if neighbor_selection is None:
+                    continue
+                via_site = neighbor_selection.site_for_importer(asn)
+                if arrival == best:
+                    exact.append(
+                        CandidateRoute(
+                            customer, via_site, arrival, RouteClass.CUSTOMER
+                        )
+                    )
+                delta = arrival - best
+                if delta <= slack:
+                    near[via_site] = min(near.get(via_site, 99), delta)
+            if not exact:
+                raise RoutingError(f"AS{asn}: customer distance with no candidates")
+            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
+            if primary.neighbor_asn == _SERVICE_NEIGHBOR:
+                as_path = (asn,) + (_SERVICE_NEIGHBOR,) * primary.path_length
+            else:
+                as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+            self.selections[asn] = RouteSelection(
+                asn, RouteClass.CUSTOMER, best, primary.site_code,
+                tuple(exact), _near_tuple(near), as_path=as_path,
+            )
+
+    def _phase_peers(self, cust_dist: Dict[int, int]) -> None:
+        """ASes without customer routes import their peers' customer routes."""
+        for asn in self.internet.ases:
+            if asn in self.selections:
+                continue
+            slack = self.slack_for(asn)
+            best = _INF
+            offers: List[Tuple[int, CandidateRoute]] = []
+            for peer in self.graph.peers_of(asn):
+                peer_cust = cust_dist.get(peer)
+                if peer_cust is None:
+                    continue
+                arrival = peer_cust + self.edge_cost(asn, peer)
+                offers.append(
+                    (
+                        arrival,
+                        CandidateRoute(
+                            peer,
+                            self.selections[peer].site_for_importer(asn),
+                            arrival,
+                            RouteClass.PEER,
+                        ),
+                    )
+                )
+                best = min(best, arrival)
+            if not offers:
+                continue
+            exact = [route for arrival, route in offers if arrival == best]
+            near: Dict[str, int] = {}
+            for arrival, route in offers:
+                delta = arrival - best
+                if delta <= slack:
+                    near[route.site_code] = min(near.get(route.site_code, 99), delta)
+            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
+            as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+            self.selections[asn] = RouteSelection(
+                asn, RouteClass.PEER, best, primary.site_code,
+                tuple(exact), _near_tuple(near), as_path=as_path,
+            )
+
+    def _phase_down(self) -> None:
+        """Best routes descend the provider->customer DAG (Dijkstra).
+
+        Pinned provider adjacencies beat unpinned ones regardless of
+        cost.  Export costs use the min-cost offer even when a pin makes
+        the AS *use* a longer route — a small, documented approximation
+        that keeps the descent a clean Dijkstra while preserving the
+        property that matters: each AS's customers inherit the site the
+        AS actually selected.
+        """
+        export_len: Dict[int, int] = {
+            asn: selection.path_length for asn, selection in self.selections.items()
+        }
+        heap = [(length, asn) for asn, length in export_len.items()]
+        heapq.heapify(heap)
+        provider_dist: Dict[int, int] = {}
+        while heap:
+            length, asn = heapq.heappop(heap)
+            if length > export_len.get(asn, _INF):
+                continue
+            for customer in self.graph.customers_of(asn):
+                if customer in self.selections and customer not in provider_dist:
+                    continue  # holds a customer/peer route; ignores provider offers
+                candidate = length + self.edge_cost(customer, asn)
+                if candidate < provider_dist.get(customer, _INF):
+                    provider_dist[customer] = candidate
+                    export_len[customer] = candidate
+                    heapq.heappush(heap, (candidate, customer))
+
+        for asn in sorted(provider_dist, key=lambda a: (provider_dist[a], a)):
+            slack = self.slack_for(asn)
+            offers: List[Tuple[bool, int, CandidateRoute]] = []
+            for provider in self.graph.providers_of(asn):
+                provider_selection = self.selections.get(provider)
+                if provider_selection is None:
+                    # Provider has no route yet (resolves later in the
+                    # descent, so its offer cannot be the best anyway).
+                    continue
+                pinned = self.is_pinned(asn, provider)
+                arrival = export_len.get(provider, _INF) + self.edge_cost(asn, provider)
+                if arrival >= _INF:
+                    continue
+                offers.append(
+                    (
+                        pinned,
+                        arrival,
+                        CandidateRoute(
+                            provider,
+                            provider_selection.site_for_importer(asn),
+                            arrival,
+                            RouteClass.PROVIDER,
+                        ),
+                    )
+                )
+            if not offers:
+                raise RoutingError(f"AS{asn}: provider distance with no candidates")
+            has_pin = any(pinned for pinned, _, _ in offers)
+            if has_pin:
+                eligible = [(arrival, route) for pinned, arrival, route in offers if pinned]
+            else:
+                eligible = [(arrival, route) for _, arrival, route in offers]
+            best = min(arrival for arrival, _ in eligible)
+            exact = [route for arrival, route in eligible if arrival == best]
+            near: Dict[str, int] = {}
+            for arrival, route in eligible:
+                delta = arrival - best
+                if delta <= slack:
+                    near[route.site_code] = min(near.get(route.site_code, 99), delta)
+            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
+            as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+            self.selections[asn] = RouteSelection(
+                asn, RouteClass.PROVIDER, best, primary.site_code,
+                tuple(exact), _near_tuple(near), pinned=has_pin, as_path=as_path,
+            )
+
+    def _assign_alternates(self) -> None:
+        """Give every selection an alternate site for the flip model."""
+        site_codes = self.policy.site_codes
+        for selection in self.selections.values():
+            pool = [
+                site
+                for site in (*selection.pop_sites, *selection.candidate_sites)
+                if site != selection.primary_site
+            ]
+            if pool:
+                selection.alternate_site = pool[0]
+            elif len(site_codes) > 1 and self.internet.ases[selection.asn].flipper:
+                # Per-packet load balancing across unequal paths: a
+                # flipper with one equal-cost route still oscillates
+                # toward a deterministic next-best site.
+                others = [s for s in site_codes if s != selection.primary_site]
+                selection.alternate_site = others[
+                    mix64(selection.asn * 0xA5A5) % len(others)
+                ]
+
+
+def compute_routes(
+    internet: Internet,
+    policy: AnnouncementPolicy,
+    flip_model: Optional[FlipModel] = None,
+    config: Optional[RoutingConfig] = None,
+) -> RoutingOutcome:
+    """Run Gao-Rexford propagation of ``policy`` over ``internet``."""
+    propagator = _Propagator(internet, policy, config or RoutingConfig())
+    selections = propagator.run()
+    flip_model = flip_model or FlipModel(internet.seed)
+    return RoutingOutcome(internet, policy, selections, flip_model)

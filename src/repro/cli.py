@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Drives the library the way an operator would drive the original
+Verfploeter tooling: run a scan, sweep prepending configurations, study
+stability, compare coverage against Atlas, plan for site failures, and
+suggest new site locations from measured RTTs.  Every command is
+deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.coverage import format_coverage_table
+from repro.analysis.flips import flip_table, format_flip_table, format_stability_table
+from repro.analysis.maps import catchment_grid, load_grid, render_ascii_map
+from repro.analysis.placement import rtt_summary_by_site, suggest_sites
+from repro.analysis.prepend import format_prepend_table
+from repro.analysis.report import render_table
+from repro.core.comparison import compare_coverage
+from repro.core.experiments import (
+    prepend_sweep,
+    run_stability_series,
+    site_failure_study,
+)
+from repro.core.scenarios import SCALES, Scenario, broot_like, cdn_like, nl_like, tangled_like
+from repro.core.verfploeter import Verfploeter
+from repro.datasets import write_scan
+from repro.load.estimator import LoadEstimate
+from repro.traffic.rssac import build_rssac_report
+
+_SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "broot": broot_like,
+    "tangled": tangled_like,
+    "nl": nl_like,
+    "cdn": cdn_like,
+}
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    builder = _SCENARIOS[args.scenario]
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return builder(**kwargs)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", choices=sorted(_SCENARIOS), default="broot",
+        help="which canonical deployment to build (default: broot)",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="topology size (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's default seed",
+    )
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    scan = verfploeter.run_scan(dataset_id="cli-scan", wire_level=False)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            write_scan(scan, stream)
+        print(f"wrote dataset to {args.output}")
+    stats = scan.stats
+    print(f"scenario {scenario.name} ({scenario.scale}): "
+          f"{scenario.internet.summary()}")
+    print(f"probed {stats.probes_sent} /24s; kept {stats.kept} replies "
+          f"(removed {stats.duplicates} dup / {stats.unsolicited} unsolicited "
+          f"/ {stats.late} late)")
+    rows = [
+        (site, count, f"{fraction:.1%}")
+        for (site, count), fraction in zip(
+            sorted(scan.catchment.counts().items()),
+            (scan.catchment.fractions()[site]
+             for site in sorted(scan.catchment.counts())),
+        )
+    ]
+    print(render_table(["site", "/24s", "share"], rows, title="catchment"))
+    if args.map:
+        grid = catchment_grid(scan.catchment, scenario.internet.geodb, 4.0)
+        print(render_ascii_map(grid))
+    if args.rtt:
+        summary = rtt_summary_by_site(scan)
+        print(render_table(
+            ["site", "blocks", "median RTT (ms)"],
+            [(site, blocks, f"{median:.0f}")
+             for site, (blocks, median) in sorted(summary.items())],
+            title="latency",
+        ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    site = args.site or scenario.service.site_codes[0]
+    if args.scenario != "broot":
+        configs = [("equal", {})] + [
+            (f"+{n} {site}", {site: n}) for n in range(1, 4)
+        ]
+        sweep = prepend_sweep(verfploeter, scenario.atlas, configs=configs)
+    else:
+        sweep = prepend_sweep(verfploeter, scenario.atlas)
+        site = "LAX"
+    print(format_prepend_table(sweep, site))
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    series = run_stability_series(
+        verfploeter, rounds=args.rounds, interval_seconds=900.0
+    )
+    print(format_stability_table(series, every=max(1, args.rounds // 8)))
+    print()
+    print(format_flip_table(flip_table(series, scenario.internet)))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    routing = verfploeter.routing_for()
+    scan = verfploeter.run_scan(routing=routing, wire_level=False)
+    measurement = scenario.atlas.measure(routing, scenario.service)
+    print(format_coverage_table(
+        compare_coverage(measurement, scan, scenario.internet)
+    ))
+    return 0
+
+
+def _cmd_loadmap(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    scan = verfploeter.run_scan(dataset_id="cli-loadmap", wire_level=False)
+    estimate = LoadEstimate(scenario.day_load("cli-day"))
+    grid = load_grid(scan.catchment, estimate, scenario.internet.geodb, 4.0)
+    print(render_ascii_map(grid))
+    totals = grid.site_totals()
+    print(render_table(
+        ["site", "load share"],
+        [(site, f"{value / sum(totals.values()):.1%}")
+         for site, value in sorted(totals.items())],
+    ))
+    return 0
+
+
+def _cmd_failure(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    estimate = LoadEstimate(scenario.day_load("cli-day"))
+    sites = [args.site] if args.site else None
+    results = site_failure_study(verfploeter, estimate, sites=sites)
+    rows = []
+    for result in results:
+        worst_site, factor = result.worst_overload()
+        rows.append(
+            (result.withdrawn_site, worst_site,
+             f"{factor:.2f}x" if factor != float("inf") else "new")
+        )
+    print(render_table(
+        ["withdrawn site", "worst-hit survivor", "load multiple"],
+        rows,
+        title="site-failure what-if (load-weighted)",
+    ))
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    scan = verfploeter.run_scan(dataset_id="cli-suggest", wire_level=False)
+    estimate = LoadEstimate(scenario.day_load("cli-day"))
+    suggestions = suggest_sites(
+        scan, scenario.internet.geodb, count=args.count,
+        rtt_threshold_ms=args.threshold, estimate=estimate,
+    )
+    if not suggestions:
+        print("no underserved regions above the RTT threshold")
+        return 0
+    print(render_table(
+        ["lat", "lon", "blocks", "median RTT (ms)"],
+        [(f"{s.latitude:+.0f}", f"{s.longitude:+.0f}",
+          s.affected_blocks, f"{s.median_rtt_ms:.0f}")
+         for s in suggestions],
+        title="suggested new site locations (from Verfploeter RTTs)",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    routing = verfploeter.routing_for()
+    load = scenario.day_load("cli-report-day")
+    report = build_rssac_report(scenario.service.name, load, routing)
+    report.write(sys.stdout)
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reporting import generate_full_report
+
+    scenario = _build_scenario(args)
+    report_path = generate_full_report(
+        scenario, Path(args.outdir), stability_rounds=args.rounds
+    )
+    print(f"wrote {report_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verfploeter reproduction: anycast catchment mapping "
+                    "on a synthetic Internet",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    scan = commands.add_parser("scan", help="run one Verfploeter round")
+    _add_common(scan)
+    scan.add_argument("--map", action="store_true", help="print ASCII map")
+    scan.add_argument("--rtt", action="store_true", help="print RTT summary")
+    scan.add_argument("--output", default=None,
+                      help="also write the scan dataset to this file")
+    scan.set_defaults(handler=_cmd_scan)
+
+    sweep = commands.add_parser("sweep", help="AS-path prepending sweep")
+    _add_common(sweep)
+    sweep.add_argument("--site", default=None, help="site to prepend/track")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    stability = commands.add_parser("stability", help="repeated-round stability study")
+    _add_common(stability)
+    stability.add_argument("--rounds", type=int, default=16)
+    stability.set_defaults(handler=_cmd_stability)
+
+    coverage = commands.add_parser("coverage", help="Atlas vs Verfploeter coverage")
+    _add_common(coverage)
+    coverage.set_defaults(handler=_cmd_coverage)
+
+    loadmap = commands.add_parser("loadmap", help="load-weighted catchment map")
+    _add_common(loadmap)
+    loadmap.set_defaults(handler=_cmd_loadmap)
+
+    failure = commands.add_parser("failure", help="site-withdrawal what-ifs")
+    _add_common(failure)
+    failure.add_argument("--site", default=None, help="only withdraw this site")
+    failure.set_defaults(handler=_cmd_failure)
+
+    suggest = commands.add_parser("suggest", help="suggest new sites from RTTs")
+    _add_common(suggest)
+    suggest.add_argument("--count", type=int, default=3)
+    suggest.add_argument("--threshold", type=float, default=120.0,
+                         help="RTT (ms) above which a block is underserved")
+    suggest.set_defaults(handler=_cmd_suggest)
+
+    report = commands.add_parser(
+        "report", help="RSSAC-002-style daily traffic report"
+    )
+    _add_common(report)
+    report.set_defaults(handler=_cmd_report)
+
+    paper = commands.add_parser(
+        "paper", help="regenerate the full evaluation into a markdown report"
+    )
+    _add_common(paper)
+    paper.add_argument("--outdir", default="repro-report",
+                       help="directory for REPORT.md and datasets")
+    paper.add_argument("--rounds", type=int, default=24,
+                       help="stability rounds (paper: 96)")
+    paper.set_defaults(handler=_cmd_paper)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Central aggregation of per-site captures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.collector.capture import SiteCapture
+from repro.errors import MeasurementError
+from repro.icmp.network import DeliveredReply
+
+
+class CentralCollector:
+    """Collects replies from all anycast sites into one ordered stream.
+
+    The paper copies capture data from every site to a central site for
+    analysis; measurement only works if *all* sites capture
+    concurrently (a reply lands wherever BGP sends it).
+    """
+
+    def __init__(self, captures: Iterable[SiteCapture]) -> None:
+        self._captures: Dict[str, SiteCapture] = {}
+        for capture in captures:
+            if capture.site_code in self._captures:
+                raise MeasurementError(f"duplicate capture for {capture.site_code}")
+            self._captures[capture.site_code] = capture
+        if not self._captures:
+            raise MeasurementError("collector needs at least one site capture")
+
+    @property
+    def site_codes(self) -> List[str]:
+        """Sites with a running capture."""
+        return sorted(self._captures)
+
+    def ingest(self, reply: DeliveredReply) -> None:
+        """Route one delivered reply to its site's capture."""
+        capture = self._captures.get(reply.site_code)
+        if capture is None:
+            raise MeasurementError(
+                f"reply arrived at {reply.site_code} but no capture runs there — "
+                "captures must run concurrently at every anycast site"
+            )
+        capture.record(reply)
+
+    def collect(self) -> List[DeliveredReply]:
+        """Drain every site and merge, ordered by arrival time."""
+        merged: List[DeliveredReply] = []
+        for site_code in sorted(self._captures):
+            merged.extend(self._captures[site_code].drain())
+        merged.sort(
+            key=lambda reply: (
+                reply.timestamp,
+                reply.source_address,
+                reply.site_code,
+                reply.identifier,
+                reply.sequence,
+            )
+        )
+        return merged

@@ -1,0 +1,133 @@
+"""Binary pcap capture (standard libpcap format).
+
+The paper's third collection method is plain tcpdump; this module
+implements the actual artefact tcpdump produces: a libpcap file
+(magic ``0xa1b2c3d4``, version 2.4, LINKTYPE_RAW) whose records are the
+real encoded IPv4/ICMP reply packets.  Files written here are readable
+by any pcap tool; :class:`PcapCapture` plugs the format in as a
+Verfploeter capture backend.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, List, Tuple
+
+from repro.collector.capture import SiteCapture
+from repro.errors import DatasetError, MeasurementError
+from repro.icmp.network import DeliveredReply
+from repro.icmp.packets import build_reply, parse_packet
+
+_MAGIC = 0xA1B2C3D4
+_VERSION_MAJOR = 2
+_VERSION_MINOR = 4
+_SNAPLEN = 65_535
+_LINKTYPE_RAW = 101  # raw IPv4/IPv6 packets
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapWriter:
+    """Writes packets into a libpcap stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        stream.write(
+            _GLOBAL_HEADER.pack(
+                _MAGIC, _VERSION_MAJOR, _VERSION_MINOR, 0, 0, _SNAPLEN,
+                _LINKTYPE_RAW,
+            )
+        )
+
+    def write_packet(self, packet: bytes, timestamp: float) -> None:
+        """Append one packet with its capture timestamp."""
+        seconds = int(timestamp)
+        microseconds = int(round((timestamp - seconds) * 1e6))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        self._stream.write(
+            _RECORD_HEADER.pack(seconds, microseconds, len(packet), len(packet))
+        )
+        self._stream.write(packet)
+
+
+class PcapReader:
+    """Iterates ``(timestamp, packet)`` records of a libpcap stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise DatasetError("pcap stream truncated before global header")
+        magic, major, minor, _, _, _, network = _GLOBAL_HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise DatasetError(f"bad pcap magic {magic:#x}")
+        if (major, minor) != (_VERSION_MAJOR, _VERSION_MINOR):
+            raise DatasetError(f"unsupported pcap version {major}.{minor}")
+        if network != _LINKTYPE_RAW:
+            raise DatasetError(f"unsupported linktype {network}")
+
+    def __iter__(self) -> Iterator[Tuple[float, bytes]]:
+        while True:
+            header = self._stream.read(_RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) < _RECORD_HEADER.size:
+                raise DatasetError("pcap record header truncated")
+            seconds, microseconds, included, original = _RECORD_HEADER.unpack(header)
+            if included != original:
+                raise DatasetError("truncated packet capture unsupported")
+            packet = self._stream.read(included)
+            if len(packet) < included:
+                raise DatasetError("pcap packet body truncated")
+            yield seconds + microseconds / 1e6, packet
+
+
+class PcapCapture(SiteCapture):
+    """tcpdump-equivalent capture: replies stored as real packets.
+
+    Needs the measurement address (the replies' destination) to
+    reconstruct full packets; on drain, packets are parsed back into
+    reply records — exercising the wire format end to end.
+    """
+
+    def __init__(self, site_code: str, stream: BinaryIO,
+                 measurement_address: int) -> None:
+        super().__init__(site_code)
+        self._stream = stream
+        self._measurement_address = measurement_address
+        self._writer = PcapWriter(stream)
+
+    def record(self, reply: DeliveredReply) -> None:
+        if reply.site_code != self.site_code:
+            raise MeasurementError(
+                f"capture at {self.site_code} received a reply for {reply.site_code}"
+            )
+        packet = build_reply(
+            reply.source_address,
+            self._measurement_address,
+            reply.identifier,
+            reply.sequence,
+        )
+        self._writer.write_packet(packet, reply.timestamp)
+
+    def drain(self) -> List[DeliveredReply]:
+        self._stream.seek(0)
+        reader = PcapReader(self._stream)
+        replies: List[DeliveredReply] = []
+        for timestamp, packet in reader:
+            header, message = parse_packet(packet)
+            replies.append(
+                DeliveredReply(
+                    site_code=self.site_code,
+                    source_address=header.source,
+                    identifier=message.identifier,
+                    sequence=message.sequence,
+                    timestamp=timestamp,
+                )
+            )
+        self._stream.seek(0)
+        self._stream.truncate()
+        self._writer = PcapWriter(self._stream)
+        return replies

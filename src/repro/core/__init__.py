@@ -1,0 +1,41 @@
+"""Top-level orchestration: the Verfploeter system and canonical scenarios."""
+
+from repro.core.comparison import CoverageComparison, compare_coverage
+from repro.core.experiments import (
+    PrependMeasurement,
+    StabilityRound,
+    StabilitySeries,
+    prepend_sweep,
+    run_stability_series,
+)
+from repro.core.scenarios import (
+    SCALES,
+    Scenario,
+    broot_like,
+    nl_like,
+    tangled_like,
+)
+from repro.core.fastscan import FastScanEngine
+from repro.core.planning import evaluate_site_addition, find_upstream_near
+from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
+
+__all__ = [
+    "Verfploeter",
+    "ScanResult",
+    "ScanStats",
+    "CoverageComparison",
+    "compare_coverage",
+    "Scenario",
+    "SCALES",
+    "broot_like",
+    "tangled_like",
+    "nl_like",
+    "prepend_sweep",
+    "PrependMeasurement",
+    "run_stability_series",
+    "StabilityRound",
+    "StabilitySeries",
+    "FastScanEngine",
+    "evaluate_site_addition",
+    "find_upstream_near",
+]

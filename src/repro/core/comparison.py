@@ -1,0 +1,76 @@
+"""Atlas vs Verfploeter coverage comparison (paper Table 4, §5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.atlas.platform import AtlasMeasurement
+from repro.core.verfploeter import ScanResult
+from repro.topology.internet import Internet
+
+
+@dataclass(frozen=True)
+class CoverageComparison:
+    """Every row of the paper's Table 4, for both systems."""
+
+    atlas_considered_vps: int
+    atlas_considered_blocks: int
+    atlas_nonresponding_vps: int
+    atlas_nonresponding_blocks: int
+    atlas_responding_vps: int
+    atlas_responding_blocks: int
+    atlas_geolocatable_blocks: int
+    atlas_unique_blocks: int
+    verf_considered_blocks: int
+    verf_nonresponding_blocks: int
+    verf_responding_blocks: int
+    verf_no_location_blocks: int
+    verf_geolocatable_blocks: int
+    verf_unique_blocks: int
+    overlap_blocks: int
+
+    @property
+    def coverage_ratio(self) -> float:
+        """How many times more blocks Verfploeter sees (paper: ~430x)."""
+        if self.atlas_responding_blocks == 0:
+            return float("inf")
+        return self.verf_responding_blocks / self.atlas_responding_blocks
+
+    @property
+    def atlas_overlap_fraction(self) -> float:
+        """Share of Atlas blocks also seen by Verfploeter (paper: ~77%)."""
+        if self.atlas_responding_blocks == 0:
+            return 0.0
+        return self.overlap_blocks / self.atlas_responding_blocks
+
+
+def compare_coverage(
+    atlas: AtlasMeasurement, scan: ScanResult, internet: Internet
+) -> CoverageComparison:
+    """Build the Table 4 comparison from one Atlas and one Verfploeter run."""
+    atlas_blocks: Set[int] = atlas.responding_blocks()
+    verf_blocks: Set[int] = set(scan.catchment.blocks())
+    overlap = atlas_blocks & verf_blocks
+    verf_geolocatable = sum(1 for block in verf_blocks if block in internet.geodb)
+    return CoverageComparison(
+        atlas_considered_vps=atlas.considered_vps,
+        atlas_considered_blocks=len(atlas.considered_blocks()),
+        atlas_nonresponding_vps=atlas.considered_vps - atlas.responding_vps,
+        atlas_nonresponding_blocks=(
+            len(atlas.considered_blocks()) - len(atlas_blocks)
+        ),
+        atlas_responding_vps=atlas.responding_vps,
+        atlas_responding_blocks=len(atlas_blocks),
+        # Atlas VP locations are registered at deployment, so every
+        # responding block is geolocatable (paper: "no location: 0").
+        atlas_geolocatable_blocks=len(atlas_blocks),
+        atlas_unique_blocks=len(atlas_blocks - verf_blocks),
+        verf_considered_blocks=scan.stats.probes_sent,
+        verf_nonresponding_blocks=scan.stats.probes_sent - scan.stats.kept,
+        verf_responding_blocks=len(verf_blocks),
+        verf_no_location_blocks=len(verf_blocks) - verf_geolocatable,
+        verf_geolocatable_blocks=verf_geolocatable,
+        verf_unique_blocks=len(verf_blocks - atlas_blocks),
+        overlap_blocks=len(overlap),
+    )

@@ -1,0 +1,381 @@
+"""Experiment drivers: prepending sweeps and 24-hour stability series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.anycast.catchment import CatchmentMap
+from repro.atlas.platform import AtlasPlatform
+from repro.bgp.policy import AnnouncementPolicy
+from repro.bgp.propagation import RoutingConfig, compute_routes
+from repro.core.verfploeter import ScanResult, Verfploeter
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+
+#: The paper's Figure 5/6 x-axis for B-Root.
+BROOT_PREPEND_CONFIGS: Tuple[Tuple[str, Mapping[str, int]], ...] = (
+    ("+1 LAX", {"LAX": 1}),
+    ("equal", {}),
+    ("+1 MIA", {"MIA": 1}),
+    ("+2 MIA", {"MIA": 2}),
+    ("+3 MIA", {"MIA": 3}),
+)
+
+
+@dataclass(frozen=True)
+class PrependMeasurement:
+    """One prepending configuration measured with both systems."""
+
+    label: str
+    policy: AnnouncementPolicy
+    atlas_fractions: Dict[str, float]
+    verfploeter_fractions: Dict[str, float]
+    scan: ScanResult
+
+    def atlas_fraction_of(self, site_code: str) -> float:
+        """Share of Atlas VPs at ``site_code``."""
+        return self.atlas_fractions.get(site_code, 0.0)
+
+    def verfploeter_fraction_of(self, site_code: str) -> float:
+        """Share of Verfploeter /24s at ``site_code``."""
+        return self.verfploeter_fractions.get(site_code, 0.0)
+
+
+def prepend_sweep(
+    verfploeter: Verfploeter,
+    atlas: AtlasPlatform,
+    configs: Sequence[Tuple[str, Mapping[str, int]]] = BROOT_PREPEND_CONFIGS,
+) -> List[PrependMeasurement]:
+    """Measure each prepending configuration with Atlas and Verfploeter.
+
+    The paper measures each configuration on a different day against a
+    test prefix (§6.1); we measure each under its own routing state.
+    """
+    service = verfploeter.service
+    results: List[PrependMeasurement] = []
+    for index, (label, prepends) in enumerate(configs):
+        policy = service.policy(prepends=prepends)
+        routing = compute_routes(verfploeter.internet, policy)
+        scan = verfploeter.run_scan(
+            routing=routing,
+            round_id=index,
+            dataset_id=f"prepend-{label.replace(' ', '')}",
+            wire_level=False,
+        )
+        atlas_measurement = atlas.measure(routing, service, measurement_id=index)
+        results.append(
+            PrependMeasurement(
+                label=label,
+                policy=policy,
+                atlas_fractions=atlas_measurement.fractions(),
+                verfploeter_fractions=scan.catchment.fractions(),
+                scan=scan,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class StabilityRound:
+    """Transitions from the previous round (paper Figure 9 categories)."""
+
+    round_id: int
+    stable: int
+    flipped: int
+    to_nr: int
+    from_nr: int
+
+
+@dataclass
+class StabilitySeries:
+    """A full stability study: scans plus per-round transitions."""
+
+    scans: List[ScanResult]
+    rounds: List[StabilityRound] = field(default_factory=list)
+    flip_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def round_count(self) -> int:
+        """Number of measurement rounds."""
+        return len(self.scans)
+
+    def flipping_blocks(self) -> Set[int]:
+        """Blocks that changed catchment at least once."""
+        return set(self.flip_counts)
+
+    def total_flips(self) -> int:
+        """Total catchment changes observed across the series."""
+        return sum(self.flip_counts.values())
+
+    def median_of(self, category: str) -> float:
+        """Median per-round count of ``stable``/``flipped``/``to_nr``/``from_nr``."""
+        values = sorted(getattr(entry, category) for entry in self.rounds)
+        if not values:
+            return 0.0
+        middle = len(values) // 2
+        if len(values) % 2:
+            return float(values[middle])
+        return (values[middle - 1] + values[middle]) / 2.0
+
+    def stable_catchment(self) -> CatchmentMap:
+        """Final-round catchment restricted to never-flipping blocks.
+
+        This is the paper's §6.2 preprocessing: flipping VPs are removed
+        before analysing intra-AS divisions, so unstable routing is not
+        mistaken for a split AS.
+        """
+        last = self.scans[-1].catchment
+        flipping = self.flipping_blocks()
+        return last.restrict(
+            block for block in last.blocks() if block not in flipping
+        )
+
+
+def run_stability_series(
+    verfploeter: Verfploeter,
+    policy: Optional[AnnouncementPolicy] = None,
+    rounds: int = 96,
+    interval_seconds: float = 900.0,
+    fast: bool = False,
+) -> StabilitySeries:
+    """Run the paper's 24-hour stability experiment (§6.3).
+
+    96 rounds at 15-minute spacing by default; returns per-round
+    stable/flipped/to-NR/from-NR counts and per-block flip totals.
+    With ``fast=True`` the vectorised engine runs the rounds
+    (bit-identical results, ~50x faster — required for paper-scale
+    series).
+    """
+    if fast:
+        from repro.core.fastscan import FastScanEngine
+
+        routing = compute_routes(
+            verfploeter.internet, policy or verfploeter.service.default_policy()
+        )
+        engine = FastScanEngine(verfploeter, routing)
+        scans = engine.run_series(
+            rounds=rounds,
+            interval_seconds=interval_seconds,
+            dataset_prefix="stability",
+        )
+    else:
+        scans = verfploeter.run_series(
+            policy=policy,
+            rounds=rounds,
+            interval_seconds=interval_seconds,
+            dataset_prefix="stability",
+        )
+    series = StabilitySeries(scans=scans)
+    for index in range(1, len(scans)):
+        earlier = scans[index - 1].catchment
+        later = scans[index].catchment
+        diff = earlier.diff(later)
+        series.rounds.append(
+            StabilityRound(
+                round_id=scans[index].round_id,
+                stable=diff.stable,
+                flipped=diff.flipped,
+                to_nr=diff.disappeared,
+                from_nr=diff.appeared,
+            )
+        )
+        for block in diff.flipped_blocks:
+            series.flip_counts[block] = series.flip_counts.get(block, 0) + 1
+    return series
+
+
+@dataclass(frozen=True)
+class SiteFailureResult:
+    """Load redistribution when one site is withdrawn.
+
+    This is the DDoS/maintenance planning question behind the paper's
+    load-balancing motivation (§6.1): if a site stops announcing, where
+    does its traffic land, and does any surviving site overload?
+    """
+
+    withdrawn_site: str
+    baseline: Dict[str, float]
+    after: Dict[str, float]
+    scan: ScanResult
+
+    def overload_factor(self, site_code: str) -> float:
+        """Load multiple at ``site_code`` after the withdrawal."""
+        before = self.baseline.get(site_code, 0.0)
+        if before <= 0:
+            return float("inf") if self.after.get(site_code, 0.0) > 0 else 1.0
+        return self.after.get(site_code, 0.0) / before
+
+    def worst_overload(self) -> Tuple[str, float]:
+        """The surviving site with the highest load multiple.
+
+        Sites that carried no load before the withdrawal are excluded
+        when any loaded survivor exists — going from zero to a trickle
+        is not an overload in the capacity-planning sense.
+        """
+        survivors = [
+            code
+            for code in self.baseline
+            if code != self.withdrawn_site and code != UNKNOWN
+        ]
+        loaded = [code for code in survivors if self.baseline[code] > 0]
+        candidates = loaded or survivors
+        worst = max(candidates, key=self.overload_factor)
+        return worst, self.overload_factor(worst)
+
+
+def site_failure_study(
+    verfploeter: Verfploeter,
+    estimate: LoadEstimate,
+    sites: Optional[Sequence[str]] = None,
+) -> List[SiteFailureResult]:
+    """Withdraw each site in turn and predict the load redistribution.
+
+    For every site: announce the service without it, measure the new
+    catchment with Verfploeter, weight by historical load, and compare
+    per-site daily load against the all-sites baseline.
+    """
+    service = verfploeter.service
+    baseline_scan = verfploeter.run_scan(
+        policy=service.default_policy(), dataset_id="failure-baseline",
+        wire_level=False,
+    )
+    baseline_load = weight_catchment(baseline_scan.catchment, estimate)
+    baseline = {
+        code: baseline_load.daily_of(code)
+        for code in (*service.site_codes, UNKNOWN)
+    }
+    results: List[SiteFailureResult] = []
+    for index, site_code in enumerate(sites or service.site_codes):
+        policy = service.policy(withdrawn=[site_code])
+        scan = verfploeter.run_scan(
+            policy=policy,
+            round_id=100 + index,
+            dataset_id=f"failure-{site_code}",
+            wire_level=False,
+        )
+        after_load = weight_catchment(scan.catchment, estimate)
+        after = {
+            code: after_load.daily_of(code)
+            for code in (*service.site_codes, UNKNOWN)
+        }
+        results.append(
+            SiteFailureResult(
+                withdrawn_site=site_code,
+                baseline=baseline,
+                after=after,
+                scan=scan,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class DecayPoint:
+    """Prediction error after ``era`` units of routing/load drift."""
+
+    era: int
+    predicted: Dict[str, float]
+    actual: Dict[str, float]
+
+    def max_error(self) -> float:
+        """Worst per-site absolute error at this age."""
+        return max(
+            abs(self.predicted.get(code, 0.0) - self.actual.get(code, 0.0))
+            for code in self.predicted
+        )
+
+
+def prediction_decay_study(
+    verfploeter: Verfploeter,
+    day_load_builder,
+    eras: Sequence[int] = (0, 1, 2, 3),
+) -> List[DecayPoint]:
+    """How fast do Verfploeter load predictions go stale (paper §5.5)?
+
+    A single prediction is made from era-0 data (catchment scan plus
+    historical load); each later era re-rolls a fraction of routing
+    adjacencies and drifts the workload, and the prediction is compared
+    against that era's actual per-site load.  The paper observes the
+    April prediction (76.2%) was notably worse than the same-day one
+    (81.6% vs 81.4% measured); this study generalises that to a curve.
+
+    ``day_load_builder(era)`` must return the era's
+    :class:`~repro.traffic.logs.DayLoad`.
+    """
+    from repro.load.prediction import measured_site_load
+
+    service = verfploeter.service
+    base_policy = service.default_policy()
+    base_routing = compute_routes(
+        verfploeter.internet, base_policy, config=RoutingConfig(era=eras[0])
+    )
+    base_scan = verfploeter.run_scan(
+        routing=base_routing, dataset_id="decay-base", wire_level=False
+    )
+    base_estimate = LoadEstimate(day_load_builder(eras[0]))
+    prediction = weight_catchment(base_scan.catchment, base_estimate)
+    predicted = prediction.fractions()
+
+    points: List[DecayPoint] = []
+    for era in eras:
+        era_routing = compute_routes(
+            verfploeter.internet, base_policy, config=RoutingConfig(era=era)
+        )
+        era_estimate = LoadEstimate(day_load_builder(era))
+        actual = measured_site_load(era_routing, era_estimate).fractions()
+        points.append(DecayPoint(era=era, predicted=predicted, actual=actual))
+    return points
+
+
+@dataclass(frozen=True)
+class AttackAbsorption:
+    """How a DDoS from a given attacker population lands on the sites.
+
+    The paper's DDoS motivation (§1, §6.1 and the Nov-2015 root event
+    study [33]): anycast "absorbs" attacks by splitting them across
+    catchments, so matching attack share to per-site capacity is the
+    defensive question.  ``share`` is each site's fraction of attacker
+    blocks; ``unmapped`` attackers are outside all catchments.
+    """
+
+    share: Dict[str, float]
+    attacker_blocks: int
+    unmapped: int
+
+    def hottest_site(self) -> Tuple[str, float]:
+        """The site absorbing the largest attack share."""
+        site = max(self.share, key=self.share.get)
+        return site, self.share[site]
+
+
+def attack_absorption(
+    routing: "RoutingOutcome",
+    attacker_blocks: Sequence[int],
+    round_id: Optional[int] = None,
+) -> AttackAbsorption:
+    """Split an attacker population over the current catchments.
+
+    ``attacker_blocks`` is the set of /24s sourcing attack traffic
+    (e.g. a botnet sample or one country's blocks); per-block volume is
+    treated as uniform, matching how operators reason about spoofless
+    volumetric attacks at block granularity.
+    """
+    counts: Dict[str, int] = {code: 0 for code in routing.policy.site_codes}
+    unmapped = 0
+    for block in attacker_blocks:
+        site = routing.site_of_block(block, round_id)
+        if site is None:
+            unmapped += 1
+        else:
+            counts[site] += 1
+    mapped = sum(counts.values())
+    share = {
+        code: (count / mapped if mapped else 0.0)
+        for code, count in counts.items()
+    }
+    return AttackAbsorption(
+        share=share,
+        attacker_blocks=len(attacker_blocks),
+        unmapped=unmapped,
+    )

@@ -1,0 +1,302 @@
+"""Vectorised scan engine.
+
+Replays :meth:`Verfploeter.run_scan`'s semantics with numpy over all
+blocks at once — bit-exact (same hash draws, same cleaning rules, same
+RTTs), asserted by the equivalence tests — at 10-50x the speed.  This
+is what lets the reproduction run paper-scale experiments: the paper's
+96-round day over millions of blocks is a pure Python non-starter, but
+perfectly tractable vectorised.
+
+The engine precomputes everything round-invariant (permutation domain,
+stable responders, base catchment sites, geography) once per routing
+state, then evaluates each round with a handful of array operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.anycast.catchment import CatchmentMap
+from repro.bgp import instability as _instability
+from repro.bgp.propagation import RoutingOutcome
+from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
+from repro.geo.distance import EARTH_RADIUS_KM
+from repro.icmp import latency as _latency
+from repro.rng import derive_seed, mix64, uniform_unit_np
+from repro.topology import hosts as _hosts
+
+_ROUNDS = 4  # Feistel rounds; must match probing.order
+
+
+class _VectorPermutation:
+    """Vectorised twin of :class:`repro.probing.order.PseudorandomOrder`."""
+
+    def __init__(self, n: int, seed: int) -> None:
+        self._n = n
+        self._seed = seed
+        bits = max(2, (n - 1).bit_length())
+        if bits % 2:
+            bits += 1
+        self._half_bits = bits // 2
+        self._half_mask = (1 << self._half_bits) - 1
+
+    def _round_function(self, values: np.ndarray, round_index: int) -> np.ndarray:
+        from repro.rng import mix64_np
+
+        with np.errstate(over="ignore"):
+            mixed = (
+                np.uint64(self._seed)
+                ^ (values * np.uint64(0x9E3779B1))
+                ^ np.uint64(round_index << 48)
+            )
+        return mix64_np(mixed) & np.uint64(self._half_mask)
+
+    def _feistel(self, values: np.ndarray) -> np.ndarray:
+        left = values >> np.uint64(self._half_bits)
+        right = values & np.uint64(self._half_mask)
+        for round_index in range(_ROUNDS):
+            left, right = right, left ^ self._round_function(right, round_index)
+        return (left << np.uint64(self._half_bits)) | right
+
+    def permutation(self) -> np.ndarray:
+        """``perm[p]`` = hitlist index probed at position ``p``."""
+        values = self._feistel(np.arange(self._n, dtype=np.uint64))
+        out_of_range = values >= self._n
+        while out_of_range.any():
+            values[out_of_range] = self._feistel(values[out_of_range])
+            out_of_range = values >= self._n
+        return values.astype(np.int64)
+
+
+class FastScanEngine:
+    """Vectorised equivalent of repeated ``Verfploeter.run_scan`` calls."""
+
+    def __init__(
+        self,
+        verfploeter: Verfploeter,
+        routing: Optional[RoutingOutcome] = None,
+    ) -> None:
+        self.verfploeter = verfploeter
+        self.routing = routing if routing is not None else verfploeter.routing_for()
+        internet = verfploeter.internet
+        self._seed = internet.seed
+        self._host_config = internet.host_model.config
+        self._flip_config = self.routing.flip_model.config
+
+        hitlist = verfploeter.hitlist
+        self._n = len(hitlist)
+        self._blocks = np.array(hitlist.blocks, dtype=np.uint64)
+        self._site_codes = list(self.routing.policy.site_codes)
+        site_index = {code: i for i, code in enumerate(self._site_codes)}
+
+        # --- per-block round-invariant state (one Python pass) ----------
+        base = np.full(self._n, -1, dtype=np.int16)
+        alternate = np.full(self._n, -1, dtype=np.int16)
+        flipper = np.zeros(self._n, dtype=bool)
+        threshold = np.empty(self._n, dtype=np.float64)
+        lat = np.full(self._n, np.nan, dtype=np.float64)
+        lon = np.full(self._n, np.nan, dtype=np.float64)
+        model = internet.host_model
+        for row, block in enumerate(int(b) for b in self._blocks):
+            record = internet.geodb.locate(block)
+            country = record.country_code if record is not None else None
+            threshold[row] = model.responsiveness_for(country)
+            if record is not None:
+                lat[row] = record.latitude
+                lon[row] = record.longitude
+            site = self.routing.site_of_block(block)
+            if site is None:
+                continue
+            base[row] = site_index[site]
+            pop = internet.pop_of_block(block)
+            selection = self.routing.selections[pop.asn]
+            flipper[row] = internet.ases[pop.asn].flipper
+            alt = selection.alternate_site
+            if alt is not None and alt != site and alt in site_index:
+                alternate[row] = site_index[alt]
+        self._base = base
+        self._alternate = alternate
+        self._flipper = flipper
+
+        # --- round-invariant stochastic masks ----------------------------
+        cfg = self._host_config
+        self._stable = (
+            uniform_unit_np(self._seed, _hosts._STABLE_SALT, self._blocks)
+            < threshold
+        )
+        self._off_address = (
+            uniform_unit_np(self._seed, _hosts._OFFADDR_SALT, self._blocks)
+            < cfg.off_address_fraction
+        )
+        self._duplicator = (
+            uniform_unit_np(self._seed, _hosts._DUP_SALT, self._blocks)
+            < cfg.duplicate_fraction
+        )
+        self._participates = self._flipper & (
+            uniform_unit_np(self._seed, _instability._PARTICIPATE_SALT, self._blocks)
+            < self._flip_config.flipper_block_fraction
+        )
+
+        # --- latency precomputation ---------------------------------------
+        lm = verfploeter.latency_model
+        self._lat_ok = ~np.isnan(lat)
+        self._site_rtt = np.full((len(self._site_codes), self._n), np.nan)
+        lat_rad = np.radians(lat)
+        lon_rad = np.radians(lon)
+        for index, code in enumerate(self._site_codes):
+            site = verfploeter.service.site(code)
+            site_lat = np.radians(site.latitude)
+            site_lon = np.radians(site.longitude)
+            half_dlat = (site_lat - lat_rad) / 2.0
+            half_dlon = (site_lon - lon_rad) / 2.0
+            a = (
+                np.sin(half_dlat) ** 2
+                + np.cos(lat_rad) * np.cos(site_lat) * np.sin(half_dlon) ** 2
+            )
+            distance = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0, 1)))
+            self._site_rtt[index] = (
+                2.0 * lm._stretch * distance / _latency.KM_PER_MS
+            )
+        access_draw = uniform_unit_np(self._seed, _latency._ACCESS_SALT, self._blocks)
+        low, high = lm._access_range
+        self._access = low + (high - low) * access_draw * access_draw
+        self._jitter_scale = lm._jitter
+
+        self._order_seed_base = internet.seed
+        self._interval = 1.0 / verfploeter.prober_config.rate_pps
+        self._late_cutoff = verfploeter.cleaning.late_cutoff_seconds
+
+    # -- per-round evaluation ---------------------------------------------
+
+    def _send_offsets(self, round_id: int) -> np.ndarray:
+        """Seconds after round start each hitlist entry's probe is sent."""
+        order_seed = derive_seed(self._order_seed_base, f"probe-order-{round_id}")
+        perm = _VectorPermutation(self._n, order_seed).permutation()
+        offsets = np.empty(self._n, dtype=np.float64)
+        offsets[perm] = np.arange(self._n, dtype=np.float64) * self._interval
+        return offsets
+
+    def run_scan(
+        self,
+        round_id: int = 0,
+        start_time: float = 0.0,
+        dataset_id: Optional[str] = None,
+    ) -> ScanResult:
+        """One vectorised measurement round (equals ``Verfploeter.run_scan``)."""
+        cfg = self._host_config
+        blocks = self._blocks
+        responds = self._stable & (
+            uniform_unit_np(self._seed, _hosts._CHURN_SALT, blocks, round_id)
+            >= cfg.churn_probability
+        )
+
+        # Site selection with per-round flips.
+        flip_draw = uniform_unit_np(
+            self._seed, _instability._FLIP_SALT, blocks, round_id
+        )
+        has_alternate = self._alternate >= 0
+        flips = has_alternate & (
+            (self._participates & (flip_draw < self._flip_config.flipper_flip_probability))
+            | (~self._flipper & (flip_draw < self._flip_config.background_flip_probability))
+        )
+        site = np.where(flips, self._alternate, self._base)
+        delivered = responds & (site >= 0)
+
+        # Reply counts (duplicates).
+        tail = uniform_unit_np(self._seed, _hosts._DUPN_SALT, blocks, round_id)
+        heavy = tail < cfg.heavy_duplicate_fraction
+        counts = np.ones(self._n, dtype=np.int64)
+        counts[self._duplicator & ~heavy] = 2
+        heaviness = tail / cfg.heavy_duplicate_fraction
+        heavy_counts = 3 + ((cfg.max_duplicates - 3) * heaviness).astype(np.int64)
+        counts = np.where(self._duplicator & heavy, heavy_counts, counts)
+        counts = np.where(delivered, counts, 0)
+
+        # First-reply delay (milliseconds), mirroring the dataplane.
+        latency_draw = uniform_unit_np(
+            self._seed, _hosts._LATENCY_SALT, blocks, round_id
+        )
+        late_replier = (
+            uniform_unit_np(self._seed, _hosts._LATE_SALT, blocks, round_id)
+            < cfg.late_fraction
+        )
+        host_delay = np.where(
+            late_replier,
+            cfg.late_threshold_ms * (1.0 + 4.0 * latency_draw),
+            10.0 + 390.0 * latency_draw,
+        )
+        jitter = self._jitter_scale * uniform_unit_np(
+            self._seed, _latency._JITTER_SALT, blocks, round_id
+        )
+        site_clamped = np.clip(site, 0, len(self._site_codes) - 1)
+        path_delay = (
+            self._site_rtt[site_clamped, np.arange(self._n)]
+            + self._access
+            + jitter
+        )
+        use_path = self._lat_ok & ~late_replier & (site >= 0)
+        delay = np.where(use_path, path_delay, host_delay)
+
+        # Cleaning: how many of each block's replies beat the cut-off?
+        offsets = self._send_offsets(round_id)
+        first_rel = offsets + delay / 1000.0
+        dup_gap = 0.1 / 1000.0  # duplicates trail by 0.1 ms
+        within = np.floor((self._late_cutoff - first_rel) / dup_gap) + 1
+        within = np.clip(within, 0, counts).astype(np.int64)
+        within = np.where(first_rel <= self._late_cutoff, within, 0)
+        within = np.where(delivered, within, 0)
+
+        received = int(counts.sum())
+        unsolicited_mask = delivered & self._off_address
+        unsolicited = int(counts[unsolicited_mask].sum())
+        countable = delivered & ~self._off_address
+        late = int((counts[countable] - within[countable]).sum())
+        kept_mask = countable & (within >= 1)
+        duplicates = int((within[kept_mask] - 1).sum())
+        kept = int(kept_mask.sum())
+
+        mapping: Dict[int, str] = {}
+        rtts: Dict[int, float] = {}
+        kept_blocks = blocks[kept_mask].astype(np.int64)
+        kept_sites = site[kept_mask]
+        kept_delays = delay[kept_mask]
+        for block, site_idx, block_delay in zip(kept_blocks, kept_sites, kept_delays):
+            mapping[int(block)] = self._site_codes[site_idx]
+            rtts[int(block)] = float(block_delay)
+
+        stats = ScanStats(
+            probes_sent=self._n,
+            replies_received=received,
+            wrong_round=0,
+            unsolicited=unsolicited,
+            late=late,
+            duplicates=duplicates,
+            kept=kept,
+        )
+        return ScanResult(
+            dataset_id=dataset_id or f"fast-r{round_id}",
+            round_id=round_id,
+            start_time=start_time,
+            duration_seconds=self._n * self._interval,
+            catchment=CatchmentMap(self._site_codes, mapping),
+            stats=stats,
+            rtts=rtts,
+        )
+
+    def run_series(
+        self,
+        rounds: int,
+        interval_seconds: float = 900.0,
+        dataset_prefix: str = "fast-series",
+    ) -> List[ScanResult]:
+        """A stability series, vectorised round by round."""
+        return [
+            self.run_scan(
+                round_id=round_id,
+                start_time=round_id * interval_seconds,
+                dataset_id=f"{dataset_prefix}-r{round_id:03d}",
+            )
+            for round_id in range(rounds)
+        ]

@@ -1,0 +1,136 @@
+"""Iterative resolution over the synthetic namespace.
+
+Builds the delegation hierarchy under the synthetic root — TLD zones
+that delegate ``example.<tld>``, and leaf zones with real A records —
+and an iterative resolver that walks root → TLD → leaf following
+referrals and glue, exactly as the recursive resolvers behind the
+paper's query load do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dns.message import (
+    RCODE_NXDOMAIN,
+    TYPE_A,
+    DnsRecord,
+)
+from repro.dns.root import build_root_zone
+from repro.dns.zone import Zone, ZoneAnswer
+from repro.errors import DNSError
+from repro.rng import mix64
+
+_LEAF_HOSTS = (
+    "www", "mail", "ns1", "api", "cdn", "app", "login", "static",
+    "update", "time", "pool", "mx",
+)
+_LEAF_BASE = 0x0B000000  # 11.0.0.0/8: leaf host addresses
+_LEAF_MASK = 0x00FFFFFF
+
+
+def _leaf_address(name: str) -> int:
+    raw = int.from_bytes(name.encode("ascii")[:8].ljust(8, b"\0"), "little")
+    return _LEAF_BASE | (mix64(raw ^ mix64(len(name))) & _LEAF_MASK)
+
+
+def build_tld_zone(tld: str) -> Zone:
+    """A TLD zone delegating ``example.<tld>`` to its own nameservers."""
+    zone = Zone(tld, DnsRecord.soa(tld, f"a.nic.{tld}", f"hostmaster.{tld}", 1))
+    zone.add_record(DnsRecord.ns(tld, f"a.nic.{tld}"))
+    child = f"example.{tld}"
+    ns_name = f"ns1.{child}"
+    zone.add_delegation(
+        child,
+        [DnsRecord.ns(child, ns_name)],
+        glue=[DnsRecord.a(ns_name, _leaf_address(ns_name))],
+    )
+    return zone
+
+
+def build_leaf_zone(origin: str) -> Zone:
+    """A second-level zone with A records for the common host labels."""
+    zone = Zone(
+        origin, DnsRecord.soa(origin, f"ns1.{origin}", f"hostmaster.{origin}", 1)
+    )
+    zone.add_record(DnsRecord.ns(origin, f"ns1.{origin}"))
+    zone.add_record(DnsRecord.a(f"ns1.{origin}", _leaf_address(f"ns1.{origin}")))
+    for host in _LEAF_HOSTS:
+        name = f"{host}.{origin}"
+        zone.add_record(DnsRecord.a(name, _leaf_address(name)))
+    return zone
+
+
+class SyntheticNamespace:
+    """The whole delegation tree: root, TLD zones, and leaf zones."""
+
+    def __init__(self) -> None:
+        self.root = build_root_zone()
+        self._zones: Dict[str, Zone] = {"": self.root}
+
+    def zone_for(self, origin: str) -> Zone:
+        """The authoritative zone at ``origin`` (built lazily)."""
+        origin = origin.rstrip(".").lower()
+        cached = self._zones.get(origin)
+        if cached is not None:
+            return cached
+        labels = origin.split(".")
+        if len(labels) == 1 and origin in self.root.delegated_children():
+            zone = build_tld_zone(origin)
+        elif len(labels) == 2 and labels[0] == "example":
+            zone = build_leaf_zone(origin)
+        else:
+            raise DNSError(f"no authoritative zone at {origin!r}")
+        self._zones[origin] = zone
+        return zone
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of one iterative resolution."""
+
+    qname: str
+    rcode: int
+    answers: List[DnsRecord] = field(default_factory=list)
+    zones_consulted: List[str] = field(default_factory=list)
+
+    @property
+    def address(self) -> Optional[int]:
+        """The first A answer, when present."""
+        for record in self.answers:
+            if record.rtype == TYPE_A:
+                return record.a_address()
+        return None
+
+
+class IterativeResolver:
+    """Follows referrals from the root down to an authoritative answer."""
+
+    def __init__(self, namespace: Optional[SyntheticNamespace] = None,
+                 max_depth: int = 8) -> None:
+        self.namespace = namespace if namespace is not None else SyntheticNamespace()
+        if max_depth < 1:
+            raise DNSError("max_depth must be >= 1")
+        self._max_depth = max_depth
+
+    def resolve(self, qname: str, qtype: int = TYPE_A) -> ResolutionResult:
+        """Resolve ``qname`` iteratively; returns the final answer."""
+        result = ResolutionResult(qname=qname, rcode=RCODE_NXDOMAIN)
+        zone = self.namespace.zone_for("")
+        for _ in range(self._max_depth):
+            result.zones_consulted.append(zone.origin or ".")
+            answer: ZoneAnswer = zone.lookup(qname, qtype)
+            if not answer.is_referral:
+                result.rcode = answer.rcode
+                result.answers = answer.answers
+                return result
+            child = answer.authorities[0].name
+            try:
+                zone = self.namespace.zone_for(child)
+            except DNSError:
+                # Delegation to a zone nobody serves: resolution fails
+                # (the real-world lame-delegation case).
+                result.rcode = 2  # SERVFAIL
+                return result
+        raise DNSError(f"resolution of {qname!r} exceeded {self._max_depth} referrals")

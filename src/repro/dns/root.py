@@ -1,0 +1,112 @@
+"""A synthetic root zone and the root-like authoritative server.
+
+Gives the B-Root-style service an actual zone to serve: TLD
+delegations built from the world model's country codes plus the big
+generics, with deterministic glue.  Valid-TLD queries get referrals,
+junk names get NXDOMAIN — the split behind the paper's "good replies"
+vs "all replies" load types (§3.2; junk has dominated root traffic
+since 1992 [15]).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dns.message import (
+    CLASS_CHAOS,
+    CLASS_IN,
+    RCODE_REFUSED,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_TXT,
+    DnsMessage,
+    DnsRecord,
+)
+from repro.dns.server import SiteIdentityServer
+from repro.dns.zone import Zone
+from repro.geo.regions import COUNTRIES
+from repro.rng import mix64
+
+_GENERIC_TLDS = ("com", "net", "org", "edu", "gov", "int", "arpa", "info")
+#: Glue addresses are carved from the benchmarking range 198.18.0.0/15.
+_GLUE_BASE = 0xC6120000
+_GLUE_MASK = 0x0001FFFF
+
+
+def _glue_address(nameserver: str) -> int:
+    # Stable across processes (Python's str hash is randomised).
+    raw = int.from_bytes(nameserver.encode("ascii")[:8].ljust(8, b"\0"), "little")
+    return _GLUE_BASE | (mix64(raw ^ mix64(len(nameserver))) & _GLUE_MASK)
+
+
+def build_root_zone(serial: int = 2017051500) -> Zone:
+    """Build the synthetic root zone (generic + country TLDs)."""
+    soa = DnsRecord.soa(
+        "", "a.root-servers.example", "nstld.example", serial
+    )
+    zone = Zone("", soa)
+    zone.add_record(DnsRecord.ns("", "a.root-servers.example"))
+    zone.add_record(DnsRecord.ns("", "b.root-servers.example"))
+    tlds: List[str] = list(_GENERIC_TLDS) + sorted(
+        country.code.lower() for country in COUNTRIES
+    )
+    for tld in tlds:
+        ns_names = [f"a.nic.{tld}", f"b.nic.{tld}"]
+        ns_records = [DnsRecord.ns(tld, ns_name) for ns_name in ns_names]
+        glue = [DnsRecord.a(ns_name, _glue_address(ns_name)) for ns_name in ns_names]
+        zone.add_delegation(tld, ns_records, glue)
+    return zone
+
+
+class RootServer:
+    """A root-like authoritative server at one anycast site.
+
+    Serves the synthetic root zone for IN-class queries and keeps the
+    site-identity behaviour (CHAOS ``hostname.bind``, NSID) of
+    :class:`~repro.dns.server.SiteIdentityServer`.
+    """
+
+    def __init__(self, site_code: str, service_name: str,
+                 zone: Zone = None) -> None:
+        self.zone = zone if zone is not None else build_root_zone()
+        self._identity = SiteIdentityServer(site_code, service_name)
+        self.site_code = site_code
+
+    @property
+    def hostname(self) -> str:
+        """This site's identity hostname."""
+        return self._identity.hostname
+
+    def handle(self, query: DnsMessage) -> DnsMessage:
+        """Answer IN queries from the zone; CHAOS queries identify the site."""
+        if query.questions and query.questions[0].qclass == CLASS_CHAOS:
+            return self._identity.handle(query)
+        response = DnsMessage(
+            message_id=query.message_id,
+            is_response=True,
+            questions=list(query.questions),
+        )
+        if not query.questions:
+            response.rcode = RCODE_REFUSED
+            return response
+        question = query.questions[0]
+        if question.qclass != CLASS_IN:
+            response.rcode = RCODE_REFUSED
+            return response
+        answer = self.zone.lookup(question.name, question.qtype)
+        response.rcode = answer.rcode
+        response.answers = answer.answers
+        response.authorities = answer.authorities
+        response.additionals.extend(answer.additionals)
+        # Authoritative for answers and NXDOMAIN, not for referrals.
+        response.authoritative = not answer.is_referral and answer.rcode in (0, 3)
+        return response
+
+    def is_good_reply(self, query: DnsMessage) -> bool:
+        """Paper §3.2's 'good reply': an answer or referral, not junk.
+
+        Junk (queries for names under no existing TLD) produces
+        NXDOMAIN; everything resolvable counts as good.
+        """
+        response = self.handle(query)
+        return response.rcode == 0

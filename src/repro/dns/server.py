@@ -1,0 +1,72 @@
+"""Per-site authoritative responder for site-identity queries.
+
+Each anycast site runs a nameserver that reveals its identity through
+the two standard mechanisms: a CHAOS-class TXT answer for
+``hostname.bind`` (and ``id.server``), and the NSID EDNS option.  This
+is what RIPE Atlas probes query to learn which site serves them.
+"""
+
+from __future__ import annotations
+
+from repro.dns.message import (
+    CLASS_CHAOS,
+    TYPE_OPT,
+    TYPE_TXT,
+    DnsMessage,
+    DnsRecord,
+)
+
+_IDENTITY_NAMES = ("hostname.bind", "id.server")
+_RCODE_REFUSED = 5
+
+
+class SiteIdentityServer:
+    """The DNS responder running at one anycast site."""
+
+    def __init__(self, site_code: str, service_name: str) -> None:
+        self.site_code = site_code
+        self.service_name = service_name
+
+    @property
+    def hostname(self) -> str:
+        """The hostname this site reports, e.g. ``lax1.b.example``."""
+        return f"{self.site_code.lower()}1.{self.service_name.lower()}"
+
+    def handle(self, query: DnsMessage) -> DnsMessage:
+        """Answer a query; site-identity questions get the site hostname.
+
+        Anything that is not a CHAOS TXT identity query is REFUSED,
+        which is how real root servers treat unexpected CHAOS queries.
+        """
+        response = DnsMessage(
+            message_id=query.message_id,
+            is_response=True,
+            authoritative=True,
+            questions=list(query.questions),
+        )
+        wants_nsid = any(
+            record.rtype == TYPE_OPT and record.nsid_value() is not None
+            for record in query.additionals
+        ) or any(
+            record.rtype == TYPE_OPT and record.nsid_value() == b""
+            for record in query.additionals
+        )
+        if wants_nsid or any(r.rtype == TYPE_OPT for r in query.additionals):
+            response.additionals.append(
+                DnsRecord.nsid_opt(self.hostname.encode("ascii"))
+            )
+        if not query.questions:
+            response.rcode = _RCODE_REFUSED
+            return response
+        question = query.questions[0]
+        if (
+            question.qclass == CLASS_CHAOS
+            and question.qtype == TYPE_TXT
+            and question.name.lower() in _IDENTITY_NAMES
+        ):
+            response.answers.append(
+                DnsRecord.txt(question.name, self.hostname, CLASS_CHAOS)
+            )
+        else:
+            response.rcode = _RCODE_REFUSED
+        return response

@@ -1,0 +1,128 @@
+"""Authoritative DNS zones with delegation.
+
+A :class:`Zone` holds RRsets and delegation points and answers the
+question an authoritative server must: answer, referral, or NXDOMAIN.
+Used to give the anycast service a real root-like zone to serve
+(paper §3.2's load types — *good replies* vs junk — fall straight out
+of zone lookups: junk names get NXDOMAIN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.message import TYPE_NS, TYPE_SOA, DnsRecord
+from repro.errors import DNSError
+
+
+def _normalize(name: str) -> str:
+    return name.rstrip(".").lower()
+
+
+@dataclass
+class ZoneAnswer:
+    """Result of one zone lookup."""
+
+    rcode: int
+    answers: List[DnsRecord] = field(default_factory=list)
+    authorities: List[DnsRecord] = field(default_factory=list)
+    additionals: List[DnsRecord] = field(default_factory=list)
+
+    @property
+    def is_referral(self) -> bool:
+        """True when the answer delegates to a child zone."""
+        return (
+            self.rcode == 0
+            and not self.answers
+            and any(record.rtype == TYPE_NS for record in self.authorities)
+        )
+
+
+class Zone:
+    """One authoritative zone (e.g. the root)."""
+
+    def __init__(self, origin: str, soa: DnsRecord) -> None:
+        if soa.rtype != TYPE_SOA:
+            raise DNSError("zone needs an SOA record")
+        self.origin = _normalize(origin)
+        self.soa = soa
+        self._rrsets: Dict[Tuple[str, int], List[DnsRecord]] = {}
+        self._delegations: Dict[str, List[DnsRecord]] = {}
+        self._glue: Dict[str, List[DnsRecord]] = {}
+        self.add_record(soa)
+
+    # -- construction -----------------------------------------------------
+
+    def add_record(self, record: DnsRecord) -> None:
+        """Add an authoritative record at a name inside the zone."""
+        name = _normalize(record.name)
+        if not self._in_zone(name):
+            raise DNSError(f"{record.name!r} is outside zone {self.origin!r}")
+        self._rrsets.setdefault((name, record.rtype), []).append(record)
+
+    def add_delegation(
+        self, child: str, ns_records: List[DnsRecord],
+        glue: Optional[List[DnsRecord]] = None,
+    ) -> None:
+        """Delegate ``child`` to the given NS records (+ optional glue)."""
+        child = _normalize(child)
+        if not self._in_zone(child) or child == self.origin:
+            raise DNSError(f"cannot delegate {child!r} from {self.origin!r}")
+        if not ns_records or any(r.rtype != TYPE_NS for r in ns_records):
+            raise DNSError("delegation needs NS records")
+        self._delegations[child] = list(ns_records)
+        self._glue[child] = list(glue or [])
+
+    # -- lookup ------------------------------------------------------------
+
+    def _in_zone(self, name: str) -> bool:
+        if self.origin == "":
+            return True
+        return name == self.origin or name.endswith("." + self.origin)
+
+    def _delegation_covering(self, name: str) -> Optional[str]:
+        """The delegation point at or above ``name``, if any."""
+        labels = name.split(".") if name else []
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            if candidate in self._delegations:
+                return candidate
+        return None
+
+    def lookup(self, qname: str, qtype: int) -> ZoneAnswer:
+        """Authoritative lookup: answer, referral, or NXDOMAIN.
+
+        NXDOMAIN and NODATA responses carry the SOA in the authority
+        section, as real servers do.
+        """
+        name = _normalize(qname)
+        if not self._in_zone(name):
+            return ZoneAnswer(rcode=5)  # REFUSED: not our zone
+        delegation = self._delegation_covering(name)
+        if delegation is not None:
+            # Anything at or below a delegation point gets a referral —
+            # the parent is not authoritative there (root servers answer
+            # "com NS" with a referral too).
+            return ZoneAnswer(
+                rcode=0,
+                authorities=list(self._delegations[delegation]),
+                additionals=list(self._glue[delegation]),
+            )
+        exact = self._rrsets.get((name, qtype))
+        if exact:
+            return ZoneAnswer(rcode=0, answers=list(exact))
+        # Name exists with other types -> NODATA; else NXDOMAIN.
+        name_exists = any(key[0] == name for key in self._rrsets)
+        return ZoneAnswer(
+            rcode=0 if name_exists else 3,
+            authorities=[self.soa],
+        )
+
+    def delegated_children(self) -> List[str]:
+        """All delegation points (e.g. the TLDs of a root zone)."""
+        return sorted(self._delegations)
+
+    def record_count(self) -> int:
+        """Total authoritative records (excluding delegations/glue)."""
+        return sum(len(records) for records in self._rrsets.values())

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix was malformed or out of range."""
+
+
+class TopologyError(ReproError):
+    """The synthetic topology is inconsistent or a lookup failed."""
+
+
+class RoutingError(ReproError):
+    """BGP propagation failed or produced an inconsistent RIB."""
+
+
+class MeasurementError(ReproError):
+    """A probing run or collection step was misconfigured."""
+
+
+class PacketError(ReproError, ValueError):
+    """A packet could not be encoded or decoded."""
+
+
+class DNSError(ReproError, ValueError):
+    """A DNS message could not be encoded or decoded."""
+
+
+class DatasetError(ReproError):
+    """A dataset (scan or load trace) is missing, empty, or inconsistent."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scenario or component was configured with invalid parameters."""

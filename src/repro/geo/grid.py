@@ -1,0 +1,85 @@
+"""Two-degree geographic grid.
+
+The paper's coverage maps (Figures 2-4) aggregate VPs/blocks/load into
+two-degree geographic bins, each rendered as a pie chart of anycast
+sites.  :class:`GeoGrid` produces exactly that aggregation: per-cell
+totals keyed by site label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class GridCell:
+    """One grid cell: site label -> accumulated weight."""
+
+    lat_index: int
+    lon_index: int
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum of weights across all sites in this cell."""
+        return sum(self.weights.values())
+
+    def dominant_site(self) -> str:
+        """Site with the largest weight (ties broken alphabetically)."""
+        return min(self.weights, key=lambda site: (-self.weights[site], site))
+
+
+class GeoGrid:
+    """Aggregates weighted observations into fixed-degree geographic bins."""
+
+    def __init__(self, cell_degrees: float = 2.0) -> None:
+        if cell_degrees <= 0:
+            raise ConfigurationError("cell_degrees must be positive")
+        self._degrees = cell_degrees
+        self._cells: Dict[Tuple[int, int], GridCell] = {}
+
+    @property
+    def cell_degrees(self) -> float:
+        """Edge length of each cell in degrees."""
+        return self._degrees
+
+    def _indices(self, latitude: float, longitude: float) -> Tuple[int, int]:
+        if not -90.0 <= latitude <= 90.0:
+            raise ConfigurationError(f"latitude {latitude} out of range")
+        if not -180.0 <= longitude <= 180.0:
+            raise ConfigurationError(f"longitude {longitude} out of range")
+        lat_index = int((latitude + 90.0) // self._degrees)
+        lon_index = int((longitude + 180.0) // self._degrees)
+        return lat_index, lon_index
+
+    def add(self, latitude: float, longitude: float, site: str, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` for ``site`` in the cell containing the point."""
+        key = self._indices(latitude, longitude)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = GridCell(key[0], key[1])
+            self._cells[key] = cell
+        cell.weights[site] = cell.weights.get(site, 0.0) + weight
+
+    def cells(self) -> Iterator[GridCell]:
+        """Yield populated cells in (lat, lon) index order."""
+        for key in sorted(self._cells):
+            yield self._cells[key]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def site_totals(self) -> Dict[str, float]:
+        """Total weight per site across the whole grid."""
+        totals: Dict[str, float] = {}
+        for cell in self._cells.values():
+            for site, weight in cell.weights.items():
+                totals[site] = totals.get(site, 0.0) + weight
+        return totals
+
+    def top_cells(self, count: int) -> List[GridCell]:
+        """The ``count`` heaviest cells, largest first."""
+        return sorted(self._cells.values(), key=lambda cell: -cell.total)[:count]

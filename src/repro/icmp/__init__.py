@@ -1,0 +1,37 @@
+"""ICMP layer: wire format, host responder behaviour, simulated dataplane.
+
+Verfploeter's probes are ICMP Echo Requests sent from the anycast
+measurement address; replies return to whichever anycast site BGP
+selects for the replying network.  This package implements the packet
+encoding (checksums and all), the behaviour of probed hosts (duplicates,
+off-address replies, latency), and the dataplane that delivers replies
+to the catchment site.
+"""
+
+from repro.icmp.network import DeliveredReply, SimulatedDataplane
+from repro.icmp.packets import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    EchoMessage,
+    IPv4Header,
+    build_probe,
+    build_reply,
+    internet_checksum,
+    parse_packet,
+)
+from repro.icmp.responder import HostResponder, ReplyEvent
+
+__all__ = [
+    "ICMP_ECHO_REQUEST",
+    "ICMP_ECHO_REPLY",
+    "EchoMessage",
+    "IPv4Header",
+    "internet_checksum",
+    "build_probe",
+    "build_reply",
+    "parse_packet",
+    "HostResponder",
+    "ReplyEvent",
+    "SimulatedDataplane",
+    "DeliveredReply",
+]

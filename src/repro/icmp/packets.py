@@ -1,0 +1,192 @@
+"""IPv4 + ICMP echo wire format.
+
+Real, RFC-791/792-conformant encoding: 20-byte IPv4 header (no options)
+followed by an ICMP echo message, both with correct Internet checksums.
+The Verfploeter prober stamps the measurement *round* into the ICMP
+identifier field and the probe *sequence* into the sequence field, which
+is exactly how rounds are separated in the paper (§4.2: "A unique
+identifier in the ICMP header was used in every measurement round").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import PacketError
+
+ICMP_ECHO_REPLY = 0
+ICMP_ECHO_REQUEST = 8
+_IP_VERSION_IHL = (4 << 4) | 5  # IPv4, 5-word header
+_DEFAULT_TTL = 64
+_PROTO_ICMP = 1
+_HEADER_LEN = 20
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 Internet checksum (one's-complement sum of 16-bit words)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A minimal (option-less) IPv4 header."""
+
+    source: int
+    destination: int
+    total_length: int
+    ttl: int = _DEFAULT_TTL
+    identification: int = 0
+    protocol: int = _PROTO_ICMP
+
+    def encode(self) -> bytes:
+        """Serialise with a correct header checksum."""
+        without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            _IP_VERSION_IHL,
+            0,
+            self.total_length,
+            self.identification,
+            0,  # flags / fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.source.to_bytes(4, "big"),
+            self.destination.to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(without_checksum)
+        return without_checksum[:10] + struct.pack("!H", checksum) + without_checksum[12:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv4Header":
+        """Parse and checksum-verify a 20-byte IPv4 header."""
+        if len(data) < _HEADER_LEN:
+            raise PacketError(f"IPv4 header truncated: {len(data)} bytes")
+        version_ihl = data[0]
+        if version_ihl != _IP_VERSION_IHL:
+            raise PacketError(f"unsupported IPv4 version/IHL {version_ihl:#x}")
+        if internet_checksum(data[:_HEADER_LEN]) != 0:
+            raise PacketError("IPv4 header checksum mismatch")
+        (
+            _,
+            _,
+            total_length,
+            identification,
+            _,
+            ttl,
+            protocol,
+            _,
+            source,
+            destination,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:_HEADER_LEN])
+        return cls(
+            source=int.from_bytes(source, "big"),
+            destination=int.from_bytes(destination, "big"),
+            total_length=total_length,
+            ttl=ttl,
+            identification=identification,
+            protocol=protocol,
+        )
+
+
+@dataclass(frozen=True)
+class EchoMessage:
+    """An ICMP echo request or reply."""
+
+    icmp_type: int
+    identifier: int
+    sequence: int
+    payload: bytes = b""
+
+    @property
+    def is_request(self) -> bool:
+        """True for an Echo Request."""
+        return self.icmp_type == ICMP_ECHO_REQUEST
+
+    @property
+    def is_reply(self) -> bool:
+        """True for an Echo Reply."""
+        return self.icmp_type == ICMP_ECHO_REPLY
+
+    def encode(self) -> bytes:
+        """Serialise with a correct ICMP checksum."""
+        if not 0 <= self.identifier <= 0xFFFF:
+            raise PacketError(f"identifier {self.identifier} out of 16-bit range")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise PacketError(f"sequence {self.sequence} out of 16-bit range")
+        header = struct.pack(
+            "!BBHHH", self.icmp_type, 0, 0, self.identifier, self.sequence
+        )
+        checksum = internet_checksum(header + self.payload)
+        header = struct.pack(
+            "!BBHHH", self.icmp_type, 0, checksum, self.identifier, self.sequence
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EchoMessage":
+        """Parse and checksum-verify an ICMP echo message."""
+        if len(data) < 8:
+            raise PacketError(f"ICMP message truncated: {len(data)} bytes")
+        if internet_checksum(data) != 0:
+            raise PacketError("ICMP checksum mismatch")
+        icmp_type, code, _, identifier, sequence = struct.unpack("!BBHHH", data[:8])
+        if icmp_type not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+            raise PacketError(f"not an echo message (type {icmp_type})")
+        if code != 0:
+            raise PacketError(f"nonzero echo code {code}")
+        return cls(icmp_type, identifier, sequence, bytes(data[8:]))
+
+    def reply(self) -> "EchoMessage":
+        """The Echo Reply answering this request (payload echoed back)."""
+        if not self.is_request:
+            raise PacketError("can only reply to an echo request")
+        return EchoMessage(ICMP_ECHO_REPLY, self.identifier, self.sequence, self.payload)
+
+
+def build_probe(
+    source: int,
+    destination: int,
+    identifier: int,
+    sequence: int,
+    payload: bytes = b"",
+) -> bytes:
+    """Build a complete on-the-wire Echo Request packet (IPv4 + ICMP)."""
+    message = EchoMessage(ICMP_ECHO_REQUEST, identifier, sequence, payload)
+    icmp = message.encode()
+    header = IPv4Header(source, destination, _HEADER_LEN + len(icmp))
+    return header.encode() + icmp
+
+
+def build_reply(
+    source: int,
+    destination: int,
+    identifier: int,
+    sequence: int,
+    payload: bytes = b"",
+) -> bytes:
+    """Build a complete on-the-wire Echo Reply packet (IPv4 + ICMP)."""
+    message = EchoMessage(ICMP_ECHO_REPLY, identifier, sequence, payload)
+    icmp = message.encode()
+    header = IPv4Header(source, destination, _HEADER_LEN + len(icmp))
+    return header.encode() + icmp
+
+
+def parse_packet(data: bytes) -> Tuple[IPv4Header, EchoMessage]:
+    """Parse a complete packet into its IPv4 header and echo message."""
+    header = IPv4Header.decode(data)
+    if header.protocol != _PROTO_ICMP:
+        raise PacketError(f"not ICMP (protocol {header.protocol})")
+    if header.total_length != len(data):
+        raise PacketError(
+            f"length mismatch: header says {header.total_length}, got {len(data)}"
+        )
+    message = EchoMessage.decode(data[_HEADER_LEN:])
+    return header, message

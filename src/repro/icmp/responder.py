@@ -1,0 +1,68 @@
+"""Behaviour of probed hosts.
+
+Wraps the topology's :class:`~repro.topology.hosts.HostModel` into the
+packet world: given an Echo Request to an address, produce the Echo
+Reply events (possibly none, several duplicates, or replies from a
+different source address) with their latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.icmp.packets import EchoMessage
+from repro.topology.internet import Internet
+
+
+@dataclass(frozen=True)
+class ReplyEvent:
+    """One reply emitted by a probed host."""
+
+    source_address: int
+    delay_ms: float
+    message: EchoMessage
+
+    @property
+    def source_block(self) -> int:
+        """/24 block the reply comes from."""
+        return self.source_address >> 8
+
+
+class HostResponder:
+    """Simulates all probed hosts of the Internet."""
+
+    def __init__(self, internet: Internet) -> None:
+        self._internet = internet
+        self._hosts = internet.host_model
+
+    def respond(
+        self, destination: int, message: EchoMessage, round_id: int
+    ) -> List[ReplyEvent]:
+        """Replies triggered by ``message`` sent to ``destination``.
+
+        Empty when the target block is unpopulated or silent this round.
+        Some hosts reply from a *different* address in their block
+        (multi-homed boxes, NAT middleboxes); the paper's cleaning stage
+        drops those replies because the source was never probed.
+        """
+        if not message.is_request:
+            return []
+        block = destination >> 8
+        if not self._internet.has_block(block):
+            return []
+        country = self._internet.country_of_block(block)
+        if not self._hosts.responds_in_round(block, round_id, country):
+            return []
+        source = destination
+        if self._hosts.replies_from_other_address(block):
+            # Reply from the neighbouring host address in the same /24,
+            # never equal to the probed address.
+            source = (block << 8) | (((destination & 0xFF) + 1) % 256)
+        count = self._hosts.reply_count(block, round_id)
+        base_delay = self._hosts.reply_latency_ms(block, round_id)
+        reply = message.reply()
+        return [
+            ReplyEvent(source, base_delay + 0.1 * extra, reply)
+            for extra in range(count)
+        ]

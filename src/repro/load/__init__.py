@@ -1,0 +1,14 @@
+"""Load estimation and calibrated catchment predictions (paper §3.2, §5.4-5.5)."""
+
+from repro.load.estimator import LoadEstimate
+from repro.load.prediction import PredictionComparison, compare_prediction
+from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+
+__all__ = [
+    "LoadEstimate",
+    "SiteLoad",
+    "UNKNOWN",
+    "weight_catchment",
+    "PredictionComparison",
+    "compare_prediction",
+]

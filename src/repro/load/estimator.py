@@ -1,0 +1,68 @@
+"""Per-block load estimates derived from historical logs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.traffic.logs import DayLoad, LoadKind
+
+
+class LoadEstimate:
+    """Per-/24 daily load of one kind, derived from a :class:`DayLoad`.
+
+    This is the calibration weight Verfploeter attaches to each block:
+    whatever the catchment says about *where* a block goes, the estimate
+    says *how much* traffic goes with it.
+    """
+
+    def __init__(self, load: DayLoad, kind: str = LoadKind.QUERIES) -> None:
+        if kind not in LoadKind.ALL:
+            raise DatasetError(f"unknown load kind {kind!r}")
+        self.kind = kind
+        self.source = load
+        self._daily = load.daily_of_kind(kind)
+        self._row_of = load.row_of
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    @property
+    def blocks(self) -> np.ndarray:
+        """Blocks with recorded traffic."""
+        return self.source.blocks
+
+    def of_block(self, block: int) -> float:
+        """Daily load of ``block`` (0.0 when it sent nothing)."""
+        row = self._row_of(block)
+        return float(self._daily[row]) if row is not None else 0.0
+
+    def total(self) -> float:
+        """Total daily load across all blocks."""
+        return float(self._daily.sum())
+
+    def hourly_of_block(self, block: int) -> np.ndarray:
+        """Hourly load vector of ``block`` (zeros when absent)."""
+        row = self._row_of(block)
+        if row is None:
+            return np.zeros(self.source.queries.shape[1])
+        scale = 1.0
+        if self.kind == LoadKind.GOOD_REPLIES:
+            scale = float(self.source.good_fraction[row])
+        elif self.kind == LoadKind.ALL_REPLIES:
+            scale = float(self.source.reply_fraction[row])
+        return self.source.queries[row] * scale
+
+    def heaviest(self, count: int) -> List[Tuple[int, float]]:
+        """Heaviest ``count`` blocks as ``(block, daily load)``."""
+        order = np.argsort(-self._daily)[:count]
+        return [(int(self.blocks[i]), float(self._daily[i])) for i in order]
+
+    def as_dict(self) -> Dict[int, float]:
+        """Snapshot mapping block -> daily load."""
+        return {
+            int(block): float(value)
+            for block, value in zip(self.blocks, self._daily)
+        }

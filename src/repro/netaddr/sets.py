@@ -1,0 +1,85 @@
+"""Sets of prefixes with containment queries and aggregation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.netaddr.prefix import Prefix
+from repro.netaddr.trie import LongestPrefixTrie
+
+
+class PrefixSet:
+    """A mutable set of CIDR prefixes.
+
+    Supports membership of addresses (is this address covered by any
+    prefix?) and aggregation (merge sibling prefixes into their parent).
+    """
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()) -> None:
+        self._trie: LongestPrefixTrie[bool] = LongestPrefixTrie()
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        """Add ``prefix`` to the set."""
+        self._trie.insert(prefix, True)
+
+    def discard(self, prefix: Prefix) -> None:
+        """Remove ``prefix`` if present."""
+        self._trie.remove(prefix)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._trie
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for prefix, _ in self._trie.items():
+            yield prefix
+
+    def covers_address(self, address: int) -> bool:
+        """Return True if any member prefix contains ``address``."""
+        return self._trie.lookup(address) is not None
+
+    def covering_prefix(self, address: int) -> Prefix:
+        """Return the longest member prefix containing ``address``.
+
+        Raises KeyError if no member covers the address.
+        """
+        match = self._trie.lookup(address)
+        if match is None:
+            raise KeyError(f"no prefix covers {address:#x}")
+        return match[0]
+
+    def aggregated(self) -> "PrefixSet":
+        """Return a new set with sibling prefixes merged and subnets dropped.
+
+        Repeatedly merges pairs of sibling prefixes (same parent, both
+        present) and removes prefixes already covered by a shorter member.
+        """
+        prefixes = sorted(self)
+        changed = True
+        while changed:
+            changed = False
+            kept: List[Prefix] = []
+            for prefix in prefixes:
+                if kept and kept[-1].contains_prefix(prefix):
+                    changed = True
+                    continue
+                if (
+                    kept
+                    and prefix.length == kept[-1].length
+                    and prefix.length > 0
+                    and kept[-1].supernet() == prefix.supernet()
+                ):
+                    kept[-1] = prefix.supernet()
+                    changed = True
+                    continue
+                kept.append(prefix)
+            prefixes = sorted(kept)
+        return PrefixSet(prefixes)
+
+    def address_count(self) -> int:
+        """Total addresses covered by the aggregated set (no double count)."""
+        return sum(prefix.size for prefix in self.aggregated())

@@ -1,0 +1,134 @@
+"""Binary radix trie with longest-prefix-match lookup.
+
+This is the routing-table data structure used for mapping addresses and
+blocks to announced BGP prefixes (and thence to origin ASes).  The trie
+is path-uncompressed but prefix lengths on the Internet are short
+(<= 24 here), so lookups are at most 24 steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.netaddr.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class LongestPrefixTrie(Generic[V]):
+    """Maps :class:`Prefix` keys to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._descend(prefix)
+        return node is not None and node.has_value
+
+    @staticmethod
+    def _bits(network: int, length: int) -> Iterator[int]:
+        for position in range(length):
+            yield (network >> (31 - position)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value for ``prefix``."""
+        node = self._root
+        for bit in self._bits(prefix.network, prefix.length):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix``; return True if it was present.
+
+        Leaves empty interior nodes in place; the trie is built once per
+        topology so reclaiming them is not worth the bookkeeping.
+        """
+        node = self._descend(prefix)
+        if node is None or not node.has_value:
+            return False
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        return True
+
+    def _descend(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        for bit in self._bits(prefix.network, prefix.length):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored exactly at ``prefix``, or None."""
+        node = self._descend(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def lookup(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix-match ``address``; return ``(prefix, value)`` or None."""
+        node = self._root
+        best: Optional[Tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)
+        network = 0
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (31 - depth)
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+        return Prefix(address & mask, length), value
+
+    def lookup_value(self, address: int) -> Optional[V]:
+        """Longest-prefix-match ``address``; return just the value or None."""
+        match = self.lookup(address)
+        return match[1] if match is not None else None
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield all ``(prefix, value)`` pairs in address order."""
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield Prefix(network, length), node.value
+            # Push right child first so the left (0) bit pops first.
+            right = node.children[1]
+            if right is not None:
+                stack.append((right, network | (1 << (31 - length)), length + 1))
+            left = node.children[0]
+            if left is not None:
+                stack.append((left, network, length + 1))
+
+    def to_dict(self) -> Dict[Prefix, V]:
+        """Return a dict snapshot of all entries."""
+        return dict(self.items())

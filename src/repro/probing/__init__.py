@@ -1,0 +1,15 @@
+"""The Verfploeter prober: hitlists, probe ordering, and scheduling."""
+
+from repro.probing.hitlist import Hitlist, HitlistEntry, build_hitlist
+from repro.probing.order import PseudorandomOrder
+from repro.probing.prober import ProbeSchedule, Prober, ProberConfig
+
+__all__ = [
+    "Hitlist",
+    "HitlistEntry",
+    "build_hitlist",
+    "PseudorandomOrder",
+    "Prober",
+    "ProberConfig",
+    "ProbeSchedule",
+]

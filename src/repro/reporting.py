@@ -1,0 +1,166 @@
+"""One-shot reproduction reports.
+
+``generate_full_report`` runs the paper's whole evaluation on one
+scenario — coverage, traffic coverage, method comparison, prepending
+sweep, hourly load, stability, flip concentration, divisions, maps,
+plus this library's latency-inflation and containment extensions — and
+writes a single self-contained markdown report plus the scan dataset.
+Exposed on the CLI as ``python -m repro paper``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.coverage import format_coverage_table
+from repro.analysis.divisions import (
+    format_as_division_table,
+    format_prefix_division_table,
+)
+from repro.analysis.flips import flip_table, format_flip_table, format_stability_table
+from repro.analysis.inflation import format_inflation_table, summarize_inflation
+from repro.analysis.maps import atlas_grid, catchment_grid, load_grid, render_ascii_map
+from repro.analysis.prepend import format_prepend_table
+from repro.analysis.catchment_fractions import MethodRow, format_method_table
+from repro.analysis.traffic_coverage import format_traffic_coverage, traffic_coverage
+from repro.core.comparison import compare_coverage
+from repro.core.experiments import prepend_sweep, run_stability_series
+from repro.core.scenarios import Scenario
+from repro.core.verfploeter import Verfploeter
+from repro.datasets import write_scan
+from repro.load.estimator import LoadEstimate
+from repro.load.prediction import compare_prediction, measured_site_load
+from repro.load.weighting import weight_catchment
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n\n"
+
+
+def generate_full_report(
+    scenario: Scenario,
+    output_dir: Path,
+    stability_rounds: int = 24,
+    day_queries: Optional[float] = None,
+) -> Path:
+    """Run the full evaluation on ``scenario``; return the report path.
+
+    Writes ``REPORT.md`` and the primary scan dataset
+    (``scan.tsv``) into ``output_dir`` (created if needed).
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    routing = verfploeter.routing_for()
+    scan = verfploeter.run_scan(routing=routing, dataset_id="report-scan",
+                                wire_level=False)
+    atlas_measurement = scenario.atlas.measure(routing, scenario.service)
+    load = scenario.day_load("report-day", target_total_queries=day_queries)
+    estimate = LoadEstimate(load)
+
+    parts = [
+        f"# Verfploeter reproduction report — scenario `{scenario.name}` "
+        f"({scenario.scale})\n\n"
+        f"topology: {scenario.internet.summary()}; "
+        f"service: {scenario.service.name} with sites "
+        f"{scenario.service.site_codes}\n\n"
+    ]
+
+    parts.append(_section(
+        "Coverage: Atlas vs Verfploeter (paper Table 4)",
+        format_coverage_table(
+            compare_coverage(atlas_measurement, scan, scenario.internet)
+        ),
+    ))
+    parts.append(_section(
+        "Traffic coverage (paper Table 5)",
+        format_traffic_coverage(traffic_coverage(scan.catchment, estimate)),
+    ))
+
+    primary = scenario.service.site_codes[0]
+    predicted = weight_catchment(scan.catchment, estimate)
+    measured = measured_site_load(routing, estimate)
+    comparison = compare_prediction(predicted, measured)
+    rows = [
+        MethodRow("report-day", "Atlas",
+                  f"{atlas_measurement.responding_vps} VPs",
+                  atlas_measurement.fraction_of(primary)),
+        MethodRow("report-day", "Verfploeter",
+                  f"{scan.mapped_blocks} /24s",
+                  scan.catchment.fraction_of(primary)),
+        MethodRow("report-day", "Verfploeter + load",
+                  f"{predicted.total():,.0f} q/day",
+                  predicted.fraction_of(primary)),
+        MethodRow("report-day", "Actual load",
+                  f"{measured.total():,.0f} q/day",
+                  measured.fraction_of(primary)),
+    ]
+    parts.append(_section(
+        "Catchment share by method (paper Table 6)",
+        format_method_table(rows, primary)
+        + f"\nsame-day prediction error: {comparison.error_of(primary):.2%}",
+    ))
+
+    sweep = prepend_sweep(
+        verfploeter, scenario.atlas,
+        configs=tuple(
+            [("equal", {})]
+            + [(f"+{n} {primary}", {primary: n}) for n in (1, 2)]
+        ),
+    )
+    parts.append(_section(
+        "Prepending sweep (paper Figure 5)",
+        format_prepend_table(sweep, primary),
+    ))
+
+    series = run_stability_series(
+        verfploeter, rounds=stability_rounds, fast=True
+    )
+    parts.append(_section(
+        "Stability (paper Figure 9)",
+        format_stability_table(series, every=max(1, stability_rounds // 6)),
+    ))
+    parts.append(_section(
+        "Flip concentration (paper Table 7)",
+        format_flip_table(flip_table(series, scenario.internet)),
+    ))
+    stable = series.stable_catchment()
+    parts.append(_section(
+        "Intra-AS divisions (paper Figure 7)",
+        format_as_division_table(stable, scenario.internet),
+    ))
+    parts.append(_section(
+        "Per-prefix divisions (paper Figure 8)",
+        format_prefix_division_table(stable, scenario.internet),
+    ))
+
+    parts.append(_section(
+        "Verfploeter coverage map (paper Figure 2b/3b)",
+        render_ascii_map(catchment_grid(scan.catchment, scenario.internet.geodb, 4.0)),
+    ))
+    parts.append(_section(
+        "Atlas coverage map (paper Figure 2a/3a)",
+        render_ascii_map(atlas_grid(atlas_measurement, 4.0)),
+    ))
+    parts.append(_section(
+        "Load map (paper Figure 4a)",
+        render_ascii_map(
+            load_grid(scan.catchment, estimate, scenario.internet.geodb, 4.0)
+        ),
+    ))
+
+    parts.append(_section(
+        "Latency inflation (extension, paper §7)",
+        format_inflation_table(
+            summarize_inflation(scan, verfploeter.latency_model)
+        ),
+    ))
+
+    report_path = output_dir / "REPORT.md"
+    report_path.write_text("".join(parts), encoding="utf-8")
+    scan_buffer = io.StringIO()
+    write_scan(scan, scan_buffer)
+    (output_dir / "scan.tsv").write_text(scan_buffer.getvalue(), encoding="utf-8")
+    return report_path

@@ -1,0 +1,22 @@
+"""Open DNS resolver measurement platform.
+
+The anycast-mapping technique that predates both Atlas and Verfploeter
+(paper §2, Fan et al. [18]): ask open recursive resolvers around the
+Internet to query the anycast service; the site that answers each
+resolver's query identifies the resolver's catchment.  Open resolvers
+once offered ~300k vantage points but are being steadily shut down over
+DNS-amplification concerns — the paper notes a direct comparison with
+Verfploeter as future work, which this package provides.
+"""
+
+from repro.resolvers.platform import (
+    OpenResolverMeasurement,
+    OpenResolverPlatform,
+    OpenResolverResult,
+)
+
+__all__ = [
+    "OpenResolverPlatform",
+    "OpenResolverMeasurement",
+    "OpenResolverResult",
+]

@@ -1,0 +1,156 @@
+"""Open-resolver platform: catchment mapping via recursive resolvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.anycast.service import AnycastService
+from repro.bgp.propagation import RoutingOutcome
+from repro.dns.message import CLASS_CHAOS, TYPE_TXT, DnsMessage
+from repro.dns.server import SiteIdentityServer
+from repro.errors import ConfigurationError
+from repro.rng import uniform_unit
+from repro.topology.internet import Internet
+
+_RESOLVER_SALT = 0x52534C56
+_SHUTDOWN_SALT = 0x53485554
+_BUSY_SALT = 0x42555359
+
+
+@dataclass(frozen=True)
+class OpenResolverResult:
+    """One resolver's measurement outcome."""
+
+    block: int
+    site_code: Optional[str]
+    hostname: Optional[str]
+
+
+class OpenResolverMeasurement:
+    """Results of querying every reachable open resolver once."""
+
+    def __init__(self, results: List[OpenResolverResult], site_codes: List[str]):
+        self.results = results
+        self.site_codes = site_codes
+
+    @property
+    def considered_resolvers(self) -> int:
+        """Resolvers the measurement was attempted against."""
+        return len(self.results)
+
+    @property
+    def responding(self) -> List[OpenResolverResult]:
+        """Results that produced an answer."""
+        return [result for result in self.results if result.site_code is not None]
+
+    def responding_blocks(self) -> Set[int]:
+        """Distinct /24 blocks with a responding resolver."""
+        return {result.block for result in self.responding}
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of responding resolvers per site."""
+        total = len(self.responding)
+        counts = {code: 0 for code in self.site_codes}
+        for result in self.responding:
+            counts[result.site_code] = counts.get(result.site_code, 0) + 1
+        if total == 0:
+            return {code: 0.0 for code in self.site_codes}
+        return {code: count / total for code, count in counts.items()}
+
+    def fraction_of(self, site_code: str) -> float:
+        """Share of responding resolvers served by ``site_code``."""
+        return self.fractions().get(site_code, 0.0)
+
+    def block_catchments(self) -> Dict[int, str]:
+        """Site per responding resolver block."""
+        return {result.block: result.site_code for result in self.responding}
+
+
+class OpenResolverPlatform:
+    """The population of open recursive resolvers in the topology.
+
+    ``shutdown_fraction`` models the steady closure of open resolvers:
+    it removes that share of the historical population before any
+    measurement (the paper's reason the method faded).
+    """
+
+    def __init__(
+        self,
+        internet: Internet,
+        base_density: float = 0.045,
+        shutdown_fraction: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < base_density <= 1.0:
+            raise ConfigurationError("base_density must be in (0, 1]")
+        if not 0.0 <= shutdown_fraction < 1.0:
+            raise ConfigurationError("shutdown_fraction must be in [0, 1)")
+        self.internet = internet
+        self._seed = internet.seed if seed is None else seed
+        self._density = base_density
+        self._shutdown = shutdown_fraction
+        self.resolver_blocks = self._discover()
+
+    def _discover(self) -> List[int]:
+        """Blocks hosting a still-open resolver (deterministic)."""
+        blocks: List[int] = []
+        for block in self.internet.blocks:
+            if uniform_unit(self._seed, _RESOLVER_SALT, block) >= self._density:
+                continue
+            if uniform_unit(self._seed, _SHUTDOWN_SALT, block) < self._shutdown:
+                continue  # closed since the technique's heyday
+            blocks.append(block)
+        return blocks
+
+    def __len__(self) -> int:
+        return len(self.resolver_blocks)
+
+    def is_resolver_busy(self, block: int, measurement_id: int) -> bool:
+        """Transient failure: resolver rate-limited or overloaded (~5%)."""
+        return uniform_unit(self._seed, _BUSY_SALT, block, measurement_id) < 0.05
+
+    def measure(
+        self,
+        routing: RoutingOutcome,
+        service: AnycastService,
+        measurement_id: int = 0,
+    ) -> OpenResolverMeasurement:
+        """Query every open resolver for the service's site identity.
+
+        Each resolver recursively queries the anycast service; BGP
+        delivers its query to the resolver block's catchment site, whose
+        nameserver identifies itself in the CHAOS TXT answer.
+        """
+        servers = {
+            site.code: SiteIdentityServer(site.code, service.name)
+            for site in service.sites
+        }
+        hostname_to_site = {
+            server.hostname: code for code, server in servers.items()
+        }
+        results: List[OpenResolverResult] = []
+        for index, block in enumerate(self.resolver_blocks):
+            if self.is_resolver_busy(block, measurement_id):
+                results.append(OpenResolverResult(block, None, None))
+                continue
+            site_code = routing.site_of_block(block, measurement_id)
+            if site_code is None:
+                results.append(OpenResolverResult(block, None, None))
+                continue
+            query = DnsMessage.query(
+                message_id=(index + measurement_id) & 0xFFFF,
+                name="hostname.bind",
+                qtype=TYPE_TXT,
+                qclass=CLASS_CHAOS,
+            )
+            response = servers[site_code].handle(DnsMessage.decode(query.encode()))
+            decoded = DnsMessage.decode(response.encode())
+            if decoded.rcode != 0 or not decoded.answers:
+                results.append(OpenResolverResult(block, None, None))
+                continue
+            hostname = decoded.answers[0].txt_strings()[0]
+            results.append(
+                OpenResolverResult(block, hostname_to_site.get(hostname), hostname)
+            )
+        return OpenResolverMeasurement(results, service.site_codes)

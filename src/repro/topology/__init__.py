@@ -1,0 +1,31 @@
+"""Synthetic Internet topology.
+
+Builds a deterministic, seeded model of the Internet at the granularity
+the paper measures: autonomous systems with Gao-Rexford business
+relationships, points of presence (PoPs) for large ASes, BGP-announced
+prefixes, and populated /24 blocks with a host-responsiveness model.
+"""
+
+from repro.topology.asys import ASTier, AutonomousSystem, PoP
+from repro.topology.allocator import PrefixAllocator
+from repro.topology.generator import SeededAS, TopologyConfig, build_internet
+from repro.topology.hosts import HostModel, HostModelConfig
+from repro.topology.internet import Internet
+from repro.topology.prefixes import AnnouncedPrefix
+from repro.topology.relationships import Relationship, RelationshipGraph
+
+__all__ = [
+    "ASTier",
+    "AutonomousSystem",
+    "PoP",
+    "PrefixAllocator",
+    "AnnouncedPrefix",
+    "Relationship",
+    "RelationshipGraph",
+    "HostModel",
+    "HostModelConfig",
+    "Internet",
+    "SeededAS",
+    "TopologyConfig",
+    "build_internet",
+]

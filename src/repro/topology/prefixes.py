@@ -1,0 +1,30 @@
+"""BGP-announced prefixes and their populated /24 blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netaddr.prefix import Prefix
+
+
+@dataclass
+class AnnouncedPrefix:
+    """A prefix announced in BGP by one origin AS.
+
+    ``populated_blocks`` holds the /24 block ids inside the prefix that
+    actually contain hosts; sparse population of big prefixes mirrors
+    the real Internet, where most of a /12 has no ping-responsive /24s.
+    """
+
+    prefix: Prefix
+    origin_asn: int
+    populated_blocks: List[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Announced prefix length."""
+        return self.prefix.length
+
+    def __str__(self) -> str:
+        return f"{self.prefix} (AS{self.origin_asn})"

@@ -1,0 +1,100 @@
+"""AS business relationships (Gao-Rexford model).
+
+Two relationship kinds: customer-provider (directional) and peer-peer
+(symmetric).  The graph stores adjacency in both directions so BGP
+propagation can walk "up" (toward providers), "across" (peers), and
+"down" (toward customers) in separate phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.errors import TopologyError
+
+
+class Relationship:
+    """Labels for the relationship a neighbour has *to us*."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+
+class RelationshipGraph:
+    """Directed AS relationship graph with O(1) neighbour lookups."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, List[int]] = {}
+        self._customers: Dict[int, List[int]] = {}
+        self._peers: Dict[int, List[int]] = {}
+        self._edge_set: Set[Tuple[int, int]] = set()
+
+    def _check_new_edge(self, a: int, b: int) -> None:
+        if a == b:
+            raise TopologyError(f"self-loop on AS{a}")
+        if (a, b) in self._edge_set or (b, a) in self._edge_set:
+            raise TopologyError(f"duplicate relationship between AS{a} and AS{b}")
+        self._edge_set.add((a, b))
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        self._check_new_edge(customer, provider)
+        self._providers.setdefault(customer, []).append(provider)
+        self._customers.setdefault(provider, []).append(customer)
+
+    def add_peering(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between ``a`` and ``b``."""
+        self._check_new_edge(a, b)
+        self._peers.setdefault(a, []).append(b)
+        self._peers.setdefault(b, []).append(a)
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True if any relationship exists between ``a`` and ``b``."""
+        return (a, b) in self._edge_set or (b, a) in self._edge_set
+
+    def providers_of(self, asn: int) -> List[int]:
+        """ASes that ``asn`` buys transit from."""
+        return self._providers.get(asn, [])
+
+    def customers_of(self, asn: int) -> List[int]:
+        """ASes that buy transit from ``asn``."""
+        return self._customers.get(asn, [])
+
+    def peers_of(self, asn: int) -> List[int]:
+        """Settlement-free peers of ``asn``."""
+        return self._peers.get(asn, [])
+
+    def degree(self, asn: int) -> int:
+        """Total neighbour count of ``asn``."""
+        return (
+            len(self.providers_of(asn))
+            + len(self.customers_of(asn))
+            + len(self.peers_of(asn))
+        )
+
+    def edges(self) -> Iterator[Tuple[int, int, str]]:
+        """Yield ``(a, b, kind)`` for every relationship once.
+
+        ``kind`` is ``"cp"`` (a is customer of b) or ``"pp"`` (peering).
+        """
+        for customer, providers in self._providers.items():
+            for provider in providers:
+                yield (customer, provider, "cp")
+        seen: Set[Tuple[int, int]] = set()
+        for a, peers in self._peers.items():
+            for b in peers:
+                key = (min(a, b), max(a, b))
+                if key not in seen:
+                    seen.add(key)
+                    yield (key[0], key[1], "pp")
+
+    def relationship(self, of_asn: int, neighbor: int) -> str:
+        """What ``neighbor`` is to ``of_asn`` (customer/peer/provider)."""
+        if neighbor in self._customers.get(of_asn, []):
+            return Relationship.CUSTOMER
+        if neighbor in self._peers.get(of_asn, []):
+            return Relationship.PEER
+        if neighbor in self._providers.get(of_asn, []):
+            return Relationship.PROVIDER
+        raise TopologyError(f"AS{neighbor} is not a neighbour of AS{of_asn}")

@@ -1,0 +1,121 @@
+"""Topology validation: invariant checks over a generated Internet.
+
+Production deployments of the real Verfploeter validate their inputs
+(hitlists, BGP feeds) before measuring; this module gives the synthetic
+substrate the same treatment.  :func:`validate_internet` checks every
+structural invariant the rest of the library assumes and returns a
+report instead of asserting, so callers can degrade gracefully on
+hand-built topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.topology.asys import ASTier
+from repro.topology.internet import Internet
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.TopologyError` on any error."""
+        from repro.errors import TopologyError
+
+        if self.errors:
+            raise TopologyError(
+                f"invalid topology: {len(self.errors)} errors, first: "
+                f"{self.errors[0]}"
+            )
+
+
+def validate_internet(internet: Internet) -> ValidationReport:
+    """Check every structural invariant of a generated topology."""
+    report = ValidationReport()
+    graph = internet.graph
+
+    # -- AS-level invariants ------------------------------------------------
+    tier1 = [asn for asn, asys in internet.ases.items() if asys.tier == ASTier.TIER1]
+    if not tier1:
+        report.errors.append("no tier-1 ASes")
+    for index, a in enumerate(tier1):
+        for b in tier1[index + 1:]:
+            if not graph.has_link(a, b):
+                report.errors.append(f"tier-1 clique broken: AS{a}-AS{b}")
+    for asn, asys in internet.ases.items():
+        if asys.tier != ASTier.TIER1 and not graph.providers_of(asn):
+            report.errors.append(f"AS{asn} ({asys.name}) has no provider")
+        if not asys.pop_ids:
+            report.errors.append(f"AS{asn} ({asys.name}) has no PoPs")
+        for pop_id in asys.pop_ids:
+            if pop_id >= len(internet.pops):
+                report.errors.append(f"AS{asn}: dangling PoP id {pop_id}")
+            elif internet.pops[pop_id].asn != asn:
+                report.errors.append(f"AS{asn}: PoP {pop_id} owned by another AS")
+
+    # Provider hierarchy must be acyclic.
+    state = {}
+
+    def has_cycle(asn: int) -> bool:
+        if state.get(asn) == "done":
+            return False
+        if state.get(asn) == "visiting":
+            return True
+        state[asn] = "visiting"
+        cyclic = any(has_cycle(p) for p in graph.providers_of(asn))
+        state[asn] = "done"
+        return cyclic
+
+    for asn in internet.ases:
+        if has_cycle(asn):
+            report.errors.append(f"provider cycle reachable from AS{asn}")
+            break
+
+    # -- prefix invariants ----------------------------------------------------
+    announced = sorted(internet.announced, key=lambda e: e.prefix)
+    for earlier, later in zip(announced, announced[1:]):
+        if earlier.prefix.overlaps(later.prefix):
+            report.errors.append(
+                f"overlapping announcements {earlier.prefix} / {later.prefix}"
+            )
+    for entry in announced:
+        if entry.origin_asn not in internet.ases:
+            report.errors.append(f"{entry.prefix} originated by unknown AS")
+        if not entry.populated_blocks:
+            report.warnings.append(f"{entry.prefix} has no populated blocks")
+        for block in entry.populated_blocks:
+            if not entry.prefix.contains_address(block << 8):
+                report.errors.append(
+                    f"block {block:#x} outside its prefix {entry.prefix}"
+                )
+
+    # -- block invariants ------------------------------------------------------
+    unlocated = 0
+    for block in internet.blocks:
+        asn = internet.asn_of_block(block)
+        if asn not in internet.ases:
+            report.errors.append(f"block {block:#x} assigned to unknown AS{asn}")
+            continue
+        pop = internet.pop_of_block(block)
+        if pop.asn != asn:
+            report.errors.append(f"block {block:#x} served by foreign PoP")
+        if block not in internet.geodb:
+            unlocated += 1
+    if internet.blocks and unlocated / len(internet.blocks) > 0.01:
+        report.warnings.append(
+            f"{unlocated} blocks ({unlocated / len(internet.blocks):.1%}) "
+            "have no geolocation"
+        )
+
+    return report

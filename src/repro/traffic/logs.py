@@ -1,0 +1,187 @@
+"""Day-long query-load datasets.
+
+A :class:`DayLoad` is the cleaned, aggregated form of a day of server
+logs: for every source /24 block, hourly query counts plus the
+fractions of queries that produced good replies and any reply at all
+(the paper separates queries / good replies / all replies, §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+HOURS = 24
+
+
+class LoadKind:
+    """The three load measures of paper §3.2."""
+
+    QUERIES = "queries"
+    GOOD_REPLIES = "good_replies"
+    ALL_REPLIES = "all_replies"
+
+    ALL = (QUERIES, GOOD_REPLIES, ALL_REPLIES)
+
+
+class DayLoad:
+    """Hourly per-/24 load for one day of one service."""
+
+    def __init__(
+        self,
+        service_name: str,
+        date_label: str,
+        blocks: Iterable[int],
+        queries: np.ndarray,
+        good_fraction: np.ndarray,
+        reply_fraction: np.ndarray,
+    ) -> None:
+        self.service_name = service_name
+        self.date_label = date_label
+        self.blocks = np.asarray(list(blocks), dtype=np.int64)
+        if self.blocks.size and np.any(np.diff(self.blocks) <= 0):
+            raise DatasetError("blocks must be strictly ascending")
+        self.queries = np.asarray(queries, dtype=np.float64)
+        self.good_fraction = np.asarray(good_fraction, dtype=np.float64)
+        self.reply_fraction = np.asarray(reply_fraction, dtype=np.float64)
+        n = self.blocks.size
+        if self.queries.shape != (n, HOURS):
+            raise DatasetError(
+                f"queries shape {self.queries.shape} != ({n}, {HOURS})"
+            )
+        if self.good_fraction.shape != (n,) or self.reply_fraction.shape != (n,):
+            raise DatasetError("fraction arrays must be one value per block")
+        self._index: Dict[int, int] = {
+            int(block): row for row, block in enumerate(self.blocks)
+        }
+
+    def __len__(self) -> int:
+        return self.blocks.size
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._index
+
+    def row_of(self, block: int) -> Optional[int]:
+        """Row index of ``block`` or None."""
+        return self._index.get(block)
+
+    # -- daily totals -----------------------------------------------------
+
+    def daily_queries(self) -> np.ndarray:
+        """Per-block queries/day."""
+        return self.queries.sum(axis=1)
+
+    def daily_of_kind(self, kind: str) -> np.ndarray:
+        """Per-block daily totals of ``kind``."""
+        daily = self.daily_queries()
+        if kind == LoadKind.QUERIES:
+            return daily
+        if kind == LoadKind.GOOD_REPLIES:
+            return daily * self.good_fraction
+        if kind == LoadKind.ALL_REPLIES:
+            return daily * self.reply_fraction
+        raise DatasetError(f"unknown load kind {kind!r}")
+
+    def total_queries(self) -> float:
+        """Queries/day across all blocks."""
+        return float(self.queries.sum())
+
+    def mean_qps(self) -> float:
+        """Mean queries/second over the day."""
+        return self.total_queries() / 86_400.0
+
+    def hourly_totals(self) -> np.ndarray:
+        """Total queries per hour (length-24 vector)."""
+        return self.queries.sum(axis=0)
+
+    def queries_of_block(self, block: int) -> float:
+        """Queries/day from ``block`` (0.0 if absent)."""
+        row = self._index.get(block)
+        return float(self.queries[row].sum()) if row is not None else 0.0
+
+    def top_blocks(self, count: int) -> List[Tuple[int, float]]:
+        """The heaviest ``count`` blocks as ``(block, queries/day)``."""
+        daily = self.daily_queries()
+        order = np.argsort(-daily)[:count]
+        return [(int(self.blocks[i]), float(daily[i])) for i in order]
+
+    # -- transforms ---------------------------------------------------------
+
+    def scaled(self, factor: float) -> "DayLoad":
+        """A copy with all query counts multiplied by ``factor``."""
+        if factor <= 0:
+            raise DatasetError("scale factor must be positive")
+        return DayLoad(
+            self.service_name,
+            self.date_label,
+            self.blocks,
+            self.queries * factor,
+            self.good_fraction,
+            self.reply_fraction,
+        )
+
+    def restrict(self, blocks: Iterable[int]) -> "DayLoad":
+        """A copy containing only the given blocks (those present)."""
+        keep = sorted(set(blocks) & set(self._index))
+        rows = [self._index[block] for block in keep]
+        return DayLoad(
+            self.service_name,
+            self.date_label,
+            keep,
+            self.queries[rows],
+            self.good_fraction[rows],
+            self.reply_fraction[rows],
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def write_tsv(self, stream: TextIO) -> None:
+        """Write as TSV: block, good_frac, reply_frac, then 24 hourly counts."""
+        stream.write(f"# service={self.service_name} date={self.date_label}\n")
+        for row, block in enumerate(self.blocks):
+            hours = "\t".join(f"{value:.3f}" for value in self.queries[row])
+            stream.write(
+                f"{int(block)}\t{self.good_fraction[row]:.6f}\t"
+                f"{self.reply_fraction[row]:.6f}\t{hours}\n"
+            )
+
+    @classmethod
+    def read_tsv(cls, stream: TextIO) -> "DayLoad":
+        """Parse the format produced by :meth:`write_tsv`."""
+        header = stream.readline().strip()
+        if not header.startswith("# service="):
+            raise DatasetError("missing DayLoad header line")
+        try:
+            service_part, date_part = header[2:].split(" ")
+            service_name = service_part.split("=", 1)[1]
+            date_label = date_part.split("=", 1)[1]
+        except (ValueError, IndexError) as error:
+            raise DatasetError(f"malformed DayLoad header: {header!r}") from error
+        blocks: List[int] = []
+        rows: List[List[float]] = []
+        good: List[float] = []
+        reply: List[float] = []
+        for line_number, line in enumerate(stream, 2):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != 3 + HOURS:
+                raise DatasetError(
+                    f"line {line_number}: expected {3 + HOURS} fields, got {len(fields)}"
+                )
+            blocks.append(int(fields[0]))
+            good.append(float(fields[1]))
+            reply.append(float(fields[2]))
+            rows.append([float(value) for value in fields[3:]])
+        return cls(
+            service_name,
+            date_label,
+            blocks,
+            np.asarray(rows, dtype=np.float64).reshape(len(blocks), HOURS),
+            np.asarray(good),
+            np.asarray(reply),
+        )

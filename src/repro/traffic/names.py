@@ -1,0 +1,65 @@
+"""Query-name sampling: the names behind the load numbers.
+
+The aggregate workload (:mod:`repro.traffic.ditl`) assigns each block a
+*good-reply fraction*; this module realises that fraction as actual
+query names — resolvable ones under the synthetic root's TLDs, and the
+junk that has dominated root-server traffic since 1992 (paper §3.2
+citing [15]).  Feeding the sampled names through the
+:class:`~repro.dns.root.RootServer` recovers the configured fraction,
+which the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dns.zone import Zone
+from repro.errors import ConfigurationError
+from repro.rng import uniform_unit
+
+_KIND_SALT = 0x4E414D45
+_PICK_SALT = 0x5049434B
+_LABELS = (
+    "www", "mail", "ns1", "api", "cdn", "app", "login", "static",
+    "update", "time", "pool", "mx",
+)
+_JUNK_SUFFIXES = (
+    "local", "belkin", "home", "corp", "lan", "internal", "wpad",
+    "localdomain", "zzzzz", "invalid-tld",
+)
+
+
+class QueryNameSampler:
+    """Deterministic per-(block, query) name generation."""
+
+    def __init__(self, zone: Zone, seed: int) -> None:
+        self._tlds: List[str] = zone.delegated_children()
+        if not self._tlds:
+            raise ConfigurationError("zone has no delegations to sample from")
+        self._seed = seed
+
+    def sample(self, block: int, index: int, good_probability: float) -> str:
+        """The ``index``-th query name sent by ``block``.
+
+        With ``good_probability`` the name resolves (a second-level name
+        under a delegated TLD -> referral); otherwise it is junk under a
+        non-existent suffix (-> NXDOMAIN).
+        """
+        good = (
+            uniform_unit(self._seed, _KIND_SALT, block, index) < good_probability
+        )
+        pick = uniform_unit(self._seed, _PICK_SALT, block, index)
+        label = _LABELS[int(pick * 1e6) % len(_LABELS)]
+        if good:
+            tld = self._tlds[int(pick * 1e9) % len(self._tlds)]
+            return f"{label}.example.{tld}"
+        suffix = _JUNK_SUFFIXES[int(pick * 1e9) % len(_JUNK_SUFFIXES)]
+        return f"{label}.{suffix}"
+
+    def sample_many(
+        self, block: int, count: int, good_probability: float
+    ) -> List[str]:
+        """The first ``count`` query names of ``block``."""
+        return [
+            self.sample(block, index, good_probability) for index in range(count)
+        ]

@@ -1,0 +1,79 @@
+"""Tests for announcement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.policy import AnnouncementPolicy, SiteAnnouncement
+from repro.errors import ConfigurationError
+
+
+class TestSiteAnnouncement:
+    def test_effective_length(self):
+        assert SiteAnnouncement("LAX", 10).effective_length == 1
+        assert SiteAnnouncement("LAX", 10, prepend=3).effective_length == 4
+
+    def test_rejects_negative_prepend(self):
+        with pytest.raises(ConfigurationError):
+            SiteAnnouncement("LAX", 10, prepend=-1)
+
+
+class TestPolicy:
+    UPSTREAMS = {"LAX": 10, "MIA": 20}
+
+    def test_uniform(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS)
+        assert policy.site_codes == ["LAX", "MIA"]
+        assert policy.prepend_of("LAX") == 0
+
+    def test_with_prepends(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS, prepends={"MIA": 2})
+        assert policy.prepend_of("MIA") == 2
+        assert policy.prepend_of("LAX") == 0
+
+    def test_withdrawn_site(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS, withdrawn=["MIA"])
+        assert policy.site_codes == ["LAX"]
+
+    def test_rejects_all_withdrawn(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementPolicy.uniform(self.UPSTREAMS, withdrawn=["LAX", "MIA"])
+
+    def test_rejects_unknown_prepend_site(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementPolicy.uniform(self.UPSTREAMS, prepends={"XXX": 1})
+
+    def test_rejects_unknown_withdrawn_site(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementPolicy.uniform(self.UPSTREAMS, withdrawn=["XXX"])
+
+    def test_rejects_duplicate_sites(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementPolicy(
+                [SiteAnnouncement("LAX", 1), SiteAnnouncement("LAX", 2)]
+            )
+
+    def test_with_prepend_copy(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS)
+        modified = policy.with_prepend("MIA", 3)
+        assert policy.prepend_of("MIA") == 0
+        assert modified.prepend_of("MIA") == 3
+
+    def test_with_prepend_unknown_site(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS)
+        with pytest.raises(ConfigurationError):
+            policy.with_prepend("XXX", 1)
+
+    def test_prepend_of_unknown_site(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS)
+        with pytest.raises(ConfigurationError):
+            policy.prepend_of("XXX")
+
+    def test_describe(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS)
+        assert policy.describe() == "equal"
+        assert policy.with_prepend("MIA", 2).describe() == "MIA+2"
+
+    def test_as_dict(self):
+        policy = AnnouncementPolicy.uniform(self.UPSTREAMS, prepends={"LAX": 1})
+        assert policy.as_dict() == {"LAX": 1, "MIA": 0}

@@ -1,0 +1,156 @@
+"""Tests for Gao-Rexford propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.policy import AnnouncementPolicy
+from repro.bgp.propagation import RoutingConfig, compute_routes
+from repro.bgp.route import RouteClass
+from repro.errors import ConfigurationError, RoutingError
+
+
+class TestReachability:
+    def test_every_as_selects_a_route(self, tiny_internet, two_site_routing):
+        assert two_site_routing.reachable_fraction() == 1.0
+
+    def test_every_block_has_a_site(self, tiny_internet, two_site_routing):
+        for block in tiny_internet.blocks:
+            assert two_site_routing.site_of_block(block) in ("A", "B")
+
+    def test_unknown_block_unmapped(self, two_site_routing):
+        assert two_site_routing.site_of_block(12345678) is None
+
+    def test_missing_upstream_raises(self, tiny_internet):
+        policy = AnnouncementPolicy.uniform({"X": 999_999})
+        with pytest.raises(RoutingError):
+            compute_routes(tiny_internet, policy)
+
+
+class TestGaoRexford:
+    def test_upstreams_hold_customer_routes(self, tiny_internet, two_site_routing):
+        upstream_a = tiny_internet.find_asn_by_name("UP-A")
+        selection = two_site_routing.selection_of(upstream_a)
+        assert selection.route_class == RouteClass.CUSTOMER
+        assert selection.primary_site == "A"
+        assert selection.path_length == 1
+
+    def test_providers_of_upstream_prefer_customer_route(
+        self, tiny_internet, two_site_routing
+    ):
+        upstream_a = tiny_internet.find_asn_by_name("UP-A")
+        for provider in tiny_internet.graph.providers_of(upstream_a):
+            selection = two_site_routing.selection_of(provider)
+            assert selection.route_class == RouteClass.CUSTOMER
+
+    def test_customer_class_sticky_under_prepending(self, tiny_internet):
+        """Customer routes beat shorter peer/provider routes (local-pref)."""
+        upstream_a = tiny_internet.find_asn_by_name("UP-A")
+        policy = AnnouncementPolicy.uniform(
+            {
+                "A": upstream_a,
+                "B": tiny_internet.find_asn_by_name("UP-B"),
+            },
+            prepends={"A": 5},
+        )
+        routing = compute_routes(tiny_internet, policy)
+        providers = tiny_internet.graph.providers_of(upstream_a)
+        # Providers of UP-A hear A's (prepended) route as a customer
+        # route; unless they also reach B via a customer chain, they
+        # must stick with A despite 5 prepends.
+        for provider in providers:
+            selection = routing.selection_of(provider)
+            if selection.route_class == RouteClass.CUSTOMER:
+                customer_sites = {
+                    route.site_code for route in selection.candidates
+                }
+                if customer_sites == {"A"}:
+                    assert selection.primary_site == "A"
+
+    def test_path_lengths_monotone_from_origin(self, tiny_internet, two_site_routing):
+        upstream_a = tiny_internet.find_asn_by_name("UP-A")
+        origin_length = two_site_routing.selection_of(upstream_a).path_length
+        for provider in tiny_internet.graph.providers_of(upstream_a):
+            assert (
+                two_site_routing.selection_of(provider).path_length > origin_length
+            )
+
+
+class TestPrepending:
+    def test_prepending_monotone(self, tiny_internet):
+        upstreams = {
+            "A": tiny_internet.find_asn_by_name("UP-A"),
+            "B": tiny_internet.find_asn_by_name("UP-B"),
+        }
+        fractions = []
+        for prepend in range(4):
+            policy = AnnouncementPolicy.uniform(upstreams, prepends={"A": prepend})
+            catchment = compute_routes(tiny_internet, policy).catchment_map()
+            fractions.append(catchment.fraction_of("A"))
+        assert all(
+            later <= earlier + 1e-9 for earlier, later in zip(fractions, fractions[1:])
+        ), f"prepending A should monotonically shrink A: {fractions}"
+        assert fractions[3] < fractions[0]
+
+    def test_withdrawing_site_clears_catchment(self, tiny_internet):
+        upstreams = {
+            "A": tiny_internet.find_asn_by_name("UP-A"),
+            "B": tiny_internet.find_asn_by_name("UP-B"),
+        }
+        policy = AnnouncementPolicy.uniform(upstreams, withdrawn=["A"])
+        catchment = compute_routes(tiny_internet, policy).catchment_map()
+        assert catchment.fraction_of("B") == 1.0
+
+
+class TestDeterminismAndStability:
+    def test_same_policy_same_catchment(self, tiny_internet):
+        upstreams = {
+            "A": tiny_internet.find_asn_by_name("UP-A"),
+            "B": tiny_internet.find_asn_by_name("UP-B"),
+        }
+        policy = AnnouncementPolicy.uniform(upstreams)
+        first = compute_routes(tiny_internet, policy).catchment_map()
+        second = compute_routes(tiny_internet, policy).catchment_map()
+        assert dict(first.items()) == dict(second.items())
+
+    def test_round_none_is_flip_free(self, tiny_internet, two_site_routing):
+        baseline = two_site_routing.catchment_map()
+        again = two_site_routing.catchment_map()
+        assert baseline.diff(again).flipped == 0
+
+    def test_pop_site_within_candidates(self, tiny_internet, two_site_routing):
+        for asn in tiny_internet.asns():
+            selection = two_site_routing.selection_of(asn)
+            for pop in tiny_internet.pops_of_asn(asn):
+                site = two_site_routing.site_of_pop(pop)
+                assert site in selection.pop_sites or site == selection.primary_site
+
+
+class TestRoutingConfig:
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            RoutingConfig(jitter_weights=(0.5, 0.6))
+
+    def test_rejects_bad_pin(self):
+        with pytest.raises(ConfigurationError):
+            RoutingConfig(pin_probability=2.0)
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ConfigurationError):
+            RoutingConfig(pop_slack=-1)
+
+    def test_zero_pins_allows_full_shift(self, tiny_internet):
+        upstreams = {
+            "A": tiny_internet.find_asn_by_name("UP-A"),
+            "B": tiny_internet.find_asn_by_name("UP-B"),
+        }
+        config = RoutingConfig(pin_probability=0.0, jitter_weights=(1.0,))
+        heavy = AnnouncementPolicy.uniform(upstreams, prepends={"A": 10})
+        catchment = compute_routes(tiny_internet, heavy, config=config).catchment_map()
+        no_pin_fraction = catchment.fraction_of("A")
+        config_pinned = RoutingConfig(pin_probability=0.5, jitter_weights=(1.0,))
+        pinned_catchment = compute_routes(
+            tiny_internet, heavy, config=config_pinned
+        ).catchment_map()
+        # Pinned ASes ignore the prepended length, so A keeps more.
+        assert pinned_catchment.fraction_of("A") >= no_pin_fraction

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--scenario", "broot", "--scale", "tiny"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--scenario", "xroot"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--scale", "galactic"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "scan", "sweep", "stability", "coverage",
+            "loadmap", "failure", "suggest",
+        ):
+            args = parser.parse_args([command] + TINY + (
+                ["--rounds", "2"] if command == "stability" else []
+            ))
+            assert args.command == command
+
+
+class TestCommands:
+    def test_scan(self, capsys):
+        assert main(["scan", *TINY]) == 0
+        output = capsys.readouterr().out
+        assert "catchment" in output
+        assert "LAX" in output and "MIA" in output
+
+    def test_scan_with_map_and_rtt(self, capsys):
+        assert main(["scan", *TINY, "--map", "--rtt"]) == 0
+        output = capsys.readouterr().out
+        assert "legend:" in output
+        assert "median RTT" in output
+
+    def test_coverage(self, capsys):
+        assert main(["coverage", *TINY]) == 0
+        assert "coverage ratio" in capsys.readouterr().out
+
+    def test_stability(self, capsys):
+        assert main(["stability", *TINY, "--rounds", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 9" in output
+        assert "Table 7" in output
+
+    def test_failure(self, capsys):
+        assert main(["failure", *TINY, "--site", "MIA"]) == 0
+        output = capsys.readouterr().out
+        assert "MIA" in output
+        assert "load multiple" in output
+
+    def test_suggest(self, capsys):
+        assert main(["suggest", *TINY, "--count", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "suggested" in output or "no underserved" in output
+
+    def test_loadmap(self, capsys):
+        assert main(["loadmap", *TINY]) == 0
+        assert "load share" in capsys.readouterr().out
+
+    def test_sweep_tangled_site(self, capsys):
+        assert main(
+            ["sweep", "--scenario", "tangled", "--scale", "tiny",
+             "--site", "MIA"]
+        ) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_seed_override_changes_topology(self, capsys):
+        main(["scan", *TINY, "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["scan", *TINY, "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,165 @@
+"""Tests for capture, aggregation, and cleaning."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.collector.aggregate import CentralCollector
+from repro.collector.capture import LanderCapture, PcapLikeCapture, StreamingCapture
+from repro.collector.cleaning import CleaningConfig, clean_replies
+from repro.errors import ConfigurationError, MeasurementError
+from repro.icmp.network import DeliveredReply
+
+
+def reply(site="LAX", address=0x0A000001, identifier=1, sequence=0, timestamp=1.0):
+    return DeliveredReply(site, address, identifier, sequence, timestamp)
+
+
+class TestCaptures:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: StreamingCapture("LAX"),
+            lambda: LanderCapture("LAX"),
+            lambda: PcapLikeCapture("LAX", io.StringIO()),
+        ],
+        ids=["streaming", "lander", "pcap"],
+    )
+    def test_record_and_drain(self, make):
+        capture = make()
+        records = [reply(timestamp=2.0), reply(address=0x0A000002, timestamp=1.0)]
+        for record in records:
+            capture.record(record)
+        drained = capture.drain()
+        assert len(drained) == 2
+        assert {r.source_address for r in drained} == {0x0A000001, 0x0A000002}
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: StreamingCapture("LAX"),
+            lambda: LanderCapture("LAX"),
+            lambda: PcapLikeCapture("LAX", io.StringIO()),
+        ],
+        ids=["streaming", "lander", "pcap"],
+    )
+    def test_wrong_site_rejected(self, make):
+        capture = make()
+        with pytest.raises(MeasurementError):
+            capture.record(reply(site="MIA"))
+
+    def test_streaming_forwards_to_sink(self):
+        received = []
+        capture = StreamingCapture("LAX", sink=received.append)
+        capture.record(reply())
+        assert len(received) == 1
+        assert capture.drain() == []  # already forwarded
+
+    def test_lander_orders_by_bin(self):
+        capture = LanderCapture("LAX", bin_seconds=10.0)
+        capture.record(reply(timestamp=25.0))
+        capture.record(reply(address=0x0A000002, timestamp=5.0))
+        drained = capture.drain()
+        assert drained[0].timestamp == 5.0
+
+    def test_lander_rejects_bad_bin(self):
+        with pytest.raises(MeasurementError):
+            LanderCapture("LAX", bin_seconds=0)
+
+    def test_pcap_roundtrips_exact_values(self):
+        capture = PcapLikeCapture("LAX", io.StringIO())
+        original = reply(address=0xC0A80101, identifier=77, sequence=12,
+                         timestamp=123.456789)
+        capture.record(original)
+        restored = capture.drain()[0]
+        assert restored.source_address == original.source_address
+        assert restored.identifier == original.identifier
+        assert restored.sequence == original.sequence
+        assert restored.timestamp == pytest.approx(original.timestamp, abs=1e-6)
+
+    def test_drain_clears(self):
+        capture = StreamingCapture("LAX")
+        capture.record(reply())
+        capture.drain()
+        assert capture.drain() == []
+
+
+class TestCentralCollector:
+    def test_merges_sites_in_time_order(self):
+        collector = CentralCollector([StreamingCapture("LAX"), StreamingCapture("MIA")])
+        collector.ingest(reply(site="MIA", timestamp=2.0))
+        collector.ingest(reply(site="LAX", timestamp=1.0))
+        merged = collector.collect()
+        assert [r.site_code for r in merged] == ["LAX", "MIA"]
+
+    def test_missing_site_capture_raises(self):
+        collector = CentralCollector([StreamingCapture("LAX")])
+        with pytest.raises(MeasurementError):
+            collector.ingest(reply(site="MIA"))
+
+    def test_duplicate_captures_rejected(self):
+        with pytest.raises(MeasurementError):
+            CentralCollector([StreamingCapture("LAX"), StreamingCapture("LAX")])
+
+    def test_needs_captures(self):
+        with pytest.raises(MeasurementError):
+            CentralCollector([])
+
+    def test_site_codes(self):
+        collector = CentralCollector([StreamingCapture("MIA"), StreamingCapture("LAX")])
+        assert collector.site_codes == ["LAX", "MIA"]
+
+
+class TestCleaning:
+    PROBED = {0x0A000001, 0x0A000002, 0x0A000003}
+
+    def test_keeps_good_replies(self):
+        replies = [reply(), reply(address=0x0A000002)]
+        result = clean_replies(replies, self.PROBED, 1, 0.0)
+        assert len(result.kept) == 2
+        assert result.removed == 0
+
+    def test_removes_wrong_round(self):
+        result = clean_replies([reply(identifier=2)], self.PROBED, 1, 0.0)
+        assert result.wrong_round == 1
+        assert not result.kept
+
+    def test_removes_unsolicited(self):
+        result = clean_replies([reply(address=0x0B000001)], self.PROBED, 1, 0.0)
+        assert result.unsolicited == 1
+
+    def test_removes_late(self):
+        late = reply(timestamp=1000.0)
+        result = clean_replies(
+            [late], self.PROBED, 1, 0.0, CleaningConfig(late_cutoff_seconds=900.0)
+        )
+        assert result.late == 1
+
+    def test_removes_duplicates_keeps_first(self):
+        replies = [reply(timestamp=2.0, sequence=9), reply(timestamp=1.0, sequence=5)]
+        result = clean_replies(replies, self.PROBED, 1, 0.0)
+        assert result.duplicates == 1
+        assert result.kept[0].sequence == 5  # earliest wins
+
+    def test_counts_are_consistent(self):
+        replies = [
+            reply(),                        # kept
+            reply(),                        # duplicate
+            reply(identifier=9),            # wrong round
+            reply(address=0x0B000001),      # unsolicited
+            reply(address=0x0A000002, timestamp=5000.0),  # late
+        ]
+        result = clean_replies(replies, self.PROBED, 1, 0.0)
+        assert result.total == 5
+        assert len(result.kept) == 1
+        assert result.removed == 4
+
+    def test_identifier_wraps_16_bits(self):
+        result = clean_replies([reply(identifier=1)], self.PROBED, 0x1_0001, 0.0)
+        assert len(result.kept) == 1
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            CleaningConfig(late_cutoff_seconds=0)

@@ -1,0 +1,103 @@
+"""Tests for experiment drivers and the coverage comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import compare_coverage
+from repro.core.experiments import (
+    BROOT_PREPEND_CONFIGS,
+    prepend_sweep,
+    run_stability_series,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(broot_tiny, broot_verfploeter):
+    return prepend_sweep(broot_verfploeter, broot_tiny.atlas)
+
+
+@pytest.fixture(scope="module")
+def series(broot_verfploeter):
+    return run_stability_series(broot_verfploeter, rounds=8, interval_seconds=900.0)
+
+
+class TestCoverageComparison:
+    def test_table4_arithmetic(self, broot_tiny, broot_verfploeter, broot_routing, broot_scan):
+        measurement = broot_tiny.atlas.measure(broot_routing, broot_tiny.service)
+        comparison = compare_coverage(measurement, broot_scan, broot_tiny.internet)
+        assert comparison.atlas_considered_vps == len(broot_tiny.atlas.vps)
+        assert (
+            comparison.atlas_responding_vps + comparison.atlas_nonresponding_vps
+            == comparison.atlas_considered_vps
+        )
+        assert (
+            comparison.verf_responding_blocks + comparison.verf_nonresponding_blocks
+            == comparison.verf_considered_blocks
+        )
+        assert (
+            comparison.verf_geolocatable_blocks + comparison.verf_no_location_blocks
+            == comparison.verf_responding_blocks
+        )
+        assert comparison.overlap_blocks <= comparison.atlas_responding_blocks
+        assert comparison.coverage_ratio > 10
+
+    def test_most_atlas_blocks_overlap(self, broot_tiny, broot_routing, broot_scan):
+        measurement = broot_tiny.atlas.measure(broot_routing, broot_tiny.service)
+        comparison = compare_coverage(measurement, broot_scan, broot_tiny.internet)
+        assert comparison.atlas_overlap_fraction > 0.5
+
+
+class TestPrependSweep:
+    def test_all_configs_measured(self, sweep):
+        assert [entry.label for entry in sweep] == [
+            label for label, _ in BROOT_PREPEND_CONFIGS
+        ]
+
+    def test_fractions_sum_to_one(self, sweep):
+        for entry in sweep:
+            assert sum(entry.verfploeter_fractions.values()) == pytest.approx(1.0)
+            assert sum(entry.atlas_fractions.values()) == pytest.approx(1.0)
+
+    def test_monotone_toward_lax(self, sweep):
+        """Prepending MIA progressively shifts catchment to LAX."""
+        verf = [entry.verfploeter_fraction_of("LAX") for entry in sweep]
+        # Order: +1 LAX, equal, +1 MIA, +2 MIA, +3 MIA.
+        assert verf[0] <= verf[1] <= verf[2] <= verf[3] <= verf[4]
+
+    def test_atlas_tracks_verfploeter(self, sweep):
+        for entry in sweep:
+            assert abs(
+                entry.atlas_fraction_of("LAX") - entry.verfploeter_fraction_of("LAX")
+            ) < 0.35
+
+    def test_residual_at_extremes(self, sweep):
+        """Some networks ignore prepending (customer cones, pins)."""
+        assert sweep[-1].verfploeter_fraction_of("MIA") > 0.0
+
+
+class TestStabilitySeries:
+    def test_round_count(self, series):
+        assert series.round_count == 8
+        assert len(series.rounds) == 7
+
+    def test_categories_populated(self, series):
+        assert series.median_of("stable") > 0
+        assert series.median_of("to_nr") > 0
+        assert series.median_of("from_nr") > 0
+
+    def test_stability_dominates(self, series):
+        assert series.median_of("stable") > 50 * series.median_of("flipped")
+
+    def test_flip_counts_match_rounds(self, series):
+        assert series.total_flips() == sum(entry.flipped for entry in series.rounds)
+
+    def test_stable_catchment_excludes_flippers(self, series):
+        stable = series.stable_catchment()
+        flipping = series.flipping_blocks()
+        for block in flipping:
+            assert block not in stable
+
+    def test_median_of_empty(self, broot_verfploeter):
+        single = run_stability_series(broot_verfploeter, rounds=1)
+        assert single.median_of("stable") == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the Verfploeter orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verfploeter import Verfploeter
+from repro.errors import ConfigurationError, MeasurementError
+from repro.probing.prober import ProberConfig
+
+
+class TestScan:
+    def test_scan_maps_responding_blocks(self, broot_tiny, broot_scan):
+        assert broot_scan.mapped_blocks > 0.4 * len(broot_tiny.internet)
+        assert broot_scan.stats.kept == broot_scan.mapped_blocks
+
+    def test_scan_matches_ground_truth(self, broot_tiny, broot_routing, broot_scan):
+        for block, site in broot_scan.catchment.items():
+            assert site == broot_routing.site_of_block(block, broot_scan.round_id)
+
+    def test_cleaning_stats_consistent(self, broot_scan):
+        stats = broot_scan.stats
+        assert stats.replies_received == (
+            stats.kept + stats.duplicates + stats.unsolicited
+            + stats.late + stats.wrong_round
+        )
+
+    def test_duplicate_rate_near_two_percent(self, broot_scan):
+        rate = broot_scan.stats.duplicates / broot_scan.stats.replies_received
+        assert 0.002 < rate < 0.08
+
+    def test_response_rate_near_55_percent(self, broot_scan):
+        assert 0.40 < broot_scan.stats.response_rate < 0.70
+
+    def test_traffic_volume_estimate(self, broot_scan):
+        assert broot_scan.stats.traffic_megabytes == pytest.approx(
+            broot_scan.stats.probes_sent * 39 / 1e6
+        )
+
+    def test_wire_level_equals_fast_path(self, broot_verfploeter, broot_routing):
+        wire = broot_verfploeter.run_scan(
+            routing=broot_routing, round_id=3, wire_level=True
+        )
+        fast = broot_verfploeter.run_scan(
+            routing=broot_routing, round_id=3, wire_level=False
+        )
+        assert dict(wire.catchment.items()) == dict(fast.catchment.items())
+        assert wire.stats == fast.stats
+
+    def test_rejects_routing_and_policy(self, broot_verfploeter, broot_routing):
+        with pytest.raises(MeasurementError):
+            broot_verfploeter.run_scan(
+                routing=broot_routing,
+                policy=broot_verfploeter.service.default_policy(),
+            )
+
+    def test_scan_is_deterministic(self, broot_verfploeter, broot_routing):
+        first = broot_verfploeter.run_scan(routing=broot_routing, round_id=9)
+        second = broot_verfploeter.run_scan(routing=broot_routing, round_id=9)
+        assert dict(first.catchment.items()) == dict(second.catchment.items())
+
+    def test_rounds_differ_by_churn(self, broot_verfploeter, broot_routing):
+        first = broot_verfploeter.run_scan(routing=broot_routing, round_id=1)
+        second = broot_verfploeter.run_scan(routing=broot_routing, round_id=2)
+        diff = first.catchment.diff(second.catchment)
+        assert diff.appeared > 0
+        assert diff.disappeared > 0
+        assert diff.stable > 0.9 * len(first.catchment)
+
+
+class TestCaptureStyles:
+    @pytest.mark.parametrize("style", ["streaming", "lander", "pcap", "pcapbin"])
+    def test_styles_agree(self, broot_tiny, broot_routing, style):
+        verfploeter = Verfploeter(
+            broot_tiny.internet, broot_tiny.service, capture_style=style
+        )
+        scan = verfploeter.run_scan(routing=broot_routing, wire_level=False)
+        assert scan.mapped_blocks > 0
+        reference = Verfploeter(broot_tiny.internet, broot_tiny.service).run_scan(
+            routing=broot_routing, wire_level=False
+        )
+        assert dict(scan.catchment.items()) == dict(reference.catchment.items())
+
+    def test_unknown_style_rejected(self, broot_tiny):
+        with pytest.raises(ConfigurationError):
+            Verfploeter(broot_tiny.internet, broot_tiny.service, capture_style="nfs")
+
+
+class TestSeries:
+    def test_series_round_ids_and_times(self, broot_verfploeter):
+        scans = broot_verfploeter.run_series(rounds=3, interval_seconds=900.0)
+        assert [scan.round_id for scan in scans] == [0, 1, 2]
+        assert [scan.start_time for scan in scans] == [0.0, 900.0, 1800.0]
+
+    def test_series_rejects_zero_rounds(self, broot_verfploeter):
+        with pytest.raises(MeasurementError):
+            broot_verfploeter.run_series(rounds=0)
+
+
+class TestConfigValidation:
+    def test_source_outside_prefix_rejected(self, broot_tiny):
+        with pytest.raises(ConfigurationError):
+            Verfploeter(
+                broot_tiny.internet,
+                broot_tiny.service,
+                prober_config=ProberConfig(source_address=0x01020304),
+            )

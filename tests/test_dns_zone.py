@@ -1,0 +1,155 @@
+"""Tests for zones, the synthetic root, and the root server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.message import (
+    CLASS_CHAOS,
+    CLASS_IN,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    TYPE_A,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_TXT,
+    DnsMessage,
+    DnsRecord,
+)
+from repro.dns.root import RootServer, build_root_zone
+from repro.dns.zone import Zone
+from repro.errors import DNSError
+
+
+@pytest.fixture(scope="module")
+def root_zone():
+    return build_root_zone()
+
+
+@pytest.fixture(scope="module")
+def server(root_zone):
+    return RootServer("LAX", "B.root-servers.net", root_zone)
+
+
+class TestNewRecordTypes:
+    def test_a_roundtrip(self):
+        record = DnsRecord.a("a.nic.com", 0xC6120001)
+        assert record.a_address() == 0xC6120001
+
+    def test_a_rejects_malformed(self):
+        record = DnsRecord("x", TYPE_A, CLASS_IN, 0, b"\x01\x02")
+        with pytest.raises(DNSError):
+            record.a_address()
+
+    def test_ns_roundtrip(self):
+        record = DnsRecord.ns("com", "a.nic.com")
+        assert record.ns_target() == "a.nic.com"
+
+    def test_soa_structure(self):
+        record = DnsRecord.soa("", "a.example", "host.example", 42)
+        assert record.rtype == TYPE_SOA
+        assert len(record.rdata) > 20
+
+    def test_authority_section_roundtrip(self):
+        message = DnsMessage(
+            message_id=1,
+            is_response=True,
+            authorities=[DnsRecord.ns("com", "a.nic.com")],
+        )
+        decoded = DnsMessage.decode(message.encode())
+        assert len(decoded.authorities) == 1
+        assert decoded.authorities[0].ns_target() == "a.nic.com"
+        assert decoded.answers == []
+        assert decoded.additionals == []
+
+
+class TestZone:
+    def test_requires_soa(self):
+        with pytest.raises(DNSError):
+            Zone("", DnsRecord.ns("", "a.example"))
+
+    def test_rejects_out_of_zone_record(self):
+        zone = Zone("example", DnsRecord.soa("example", "ns.example", "h.example", 1))
+        with pytest.raises(DNSError):
+            zone.add_record(DnsRecord.ns("other", "ns.other"))
+
+    def test_apex_lookup(self, root_zone):
+        answer = root_zone.lookup("", TYPE_NS)
+        assert answer.rcode == 0
+        assert len(answer.answers) == 2
+        assert not answer.is_referral
+
+    def test_referral_for_tld(self, root_zone):
+        answer = root_zone.lookup("com", TYPE_NS)
+        assert answer.is_referral
+        assert {r.ns_target() for r in answer.authorities} == {
+            "a.nic.com", "b.nic.com"
+        }
+        assert answer.additionals  # glue
+
+    def test_referral_below_tld(self, root_zone):
+        answer = root_zone.lookup("www.example.com", TYPE_A)
+        assert answer.is_referral
+        assert all(r.name == "com" for r in answer.authorities)
+
+    def test_nxdomain_for_junk(self, root_zone):
+        answer = root_zone.lookup("definitely-not-a-tld", TYPE_A)
+        assert answer.rcode == RCODE_NXDOMAIN
+        assert answer.authorities[0].rtype == TYPE_SOA
+
+    def test_nodata_at_apex(self, root_zone):
+        answer = root_zone.lookup("", TYPE_A)
+        assert answer.rcode == 0
+        assert not answer.answers
+        assert answer.authorities[0].rtype == TYPE_SOA
+
+    def test_country_tlds_delegated(self, root_zone):
+        children = root_zone.delegated_children()
+        for tld in ("com", "nl", "br", "cn", "jp"):
+            assert tld in children
+
+    def test_glue_in_benchmark_range(self, root_zone):
+        answer = root_zone.lookup("nl", TYPE_NS)
+        for record in answer.additionals:
+            address = record.a_address()
+            assert 0xC6120000 <= address < 0xC6140000  # 198.18.0.0/15
+
+
+class TestRootServer:
+    def _query(self, name, qtype=TYPE_A, qclass=CLASS_IN):
+        return DnsMessage.query(7, name, qtype=qtype, qclass=qclass)
+
+    def test_referral_end_to_end(self, server):
+        response = server.handle(self._query("www.example.com"))
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.rcode == 0
+        assert decoded.authorities
+        assert not decoded.authoritative  # referrals are not authoritative
+
+    def test_nxdomain_end_to_end(self, server):
+        response = server.handle(self._query("qwerty.invalid-tld-zzz"))
+        assert response.rcode == RCODE_NXDOMAIN
+        assert response.authoritative
+
+    def test_chaos_identity_still_works(self, server):
+        response = server.handle(
+            self._query("hostname.bind", qtype=TYPE_TXT, qclass=CLASS_CHAOS)
+        )
+        assert response.answers[0].txt_strings() == ["lax1.b.root-servers.net"]
+
+    def test_refuses_other_classes(self, server):
+        response = server.handle(self._query("com", qclass=7))
+        assert response.rcode == RCODE_REFUSED
+
+    def test_good_reply_classification(self, server):
+        assert server.is_good_reply(self._query("www.example.com"))
+        assert server.is_good_reply(self._query("", qtype=TYPE_NS))
+        assert not server.is_good_reply(self._query("junk.zzzzz"))
+
+    def test_deterministic_zone(self):
+        first = build_root_zone()
+        second = build_root_zone()
+        assert first.delegated_children() == second.delegated_children()
+        a1 = first.lookup("com", TYPE_NS).additionals
+        a2 = second.lookup("com", TYPE_NS).additionals
+        assert [r.a_address() for r in a1] == [r.a_address() for r in a2]

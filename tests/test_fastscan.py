@@ -1,0 +1,68 @@
+"""Tests for the vectorised scan engine: bit-exact equivalence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.experiments import run_stability_series
+from repro.core.fastscan import FastScanEngine, _VectorPermutation
+from repro.probing.order import PseudorandomOrder
+
+
+@pytest.fixture(scope="module")
+def engine(broot_verfploeter, broot_routing):
+    return FastScanEngine(broot_verfploeter, broot_routing)
+
+
+class TestVectorPermutation:
+    @pytest.mark.parametrize("n,seed", [(1, 5), (7, 1), (100, 42), (4096, 9)])
+    def test_matches_scalar_order(self, n, seed):
+        scalar = list(PseudorandomOrder(n, seed))
+        vector = _VectorPermutation(n, seed).permutation().tolist()
+        assert vector == scalar
+
+    def test_is_permutation(self):
+        values = _VectorPermutation(1000, 3).permutation()
+        assert sorted(values.tolist()) == list(range(1000))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("round_id", [0, 1, 7])
+    def test_catchment_stats_rtts_identical(
+        self, broot_verfploeter, broot_routing, engine, round_id
+    ):
+        scalar = broot_verfploeter.run_scan(
+            routing=broot_routing, round_id=round_id, wire_level=False
+        )
+        fast = engine.run_scan(round_id=round_id)
+        assert dict(fast.catchment.items()) == dict(scalar.catchment.items())
+        assert fast.stats == scalar.stats
+        assert set(fast.rtts) == set(scalar.rtts)
+        for block, rtt in scalar.rtts.items():
+            assert math.isclose(fast.rtts[block], rtt, rel_tol=1e-9)
+
+    def test_series_metadata(self, engine):
+        scans = engine.run_series(rounds=3, interval_seconds=100.0)
+        assert [scan.round_id for scan in scans] == [0, 1, 2]
+        assert [scan.start_time for scan in scans] == [0.0, 100.0, 200.0]
+
+    def test_stability_series_fast_equals_slow(self, broot_verfploeter):
+        slow = run_stability_series(broot_verfploeter, rounds=4, fast=False)
+        fast = run_stability_series(broot_verfploeter, rounds=4, fast=True)
+        assert len(slow.rounds) == len(fast.rounds)
+        for a, b in zip(slow.rounds, fast.rounds):
+            assert (a.stable, a.flipped, a.to_nr, a.from_nr) == (
+                b.stable, b.flipped, b.to_nr, b.from_nr
+            )
+        assert slow.flip_counts == fast.flip_counts
+
+    def test_wire_level_also_agrees(self, broot_verfploeter, broot_routing, engine):
+        """Transitivity check: wire == scalar-fast == vectorised."""
+        wire = broot_verfploeter.run_scan(
+            routing=broot_routing, round_id=2, wire_level=True
+        )
+        fast = engine.run_scan(round_id=2)
+        assert dict(wire.catchment.items()) == dict(fast.catchment.items())
+        assert wire.stats == fast.stats

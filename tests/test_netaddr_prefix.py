@@ -1,0 +1,136 @@
+"""Tests for CIDR prefixes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.netaddr.prefix import Prefix
+
+
+def aligned_prefixes():
+    """Strategy: valid prefixes with host bits clear."""
+    return st.integers(min_value=0, max_value=32).flatmap(
+        lambda length: st.integers(
+            min_value=0, max_value=(1 << length) - 1 if length else 0
+        ).map(lambda top: Prefix((top << (32 - length)) & 0xFFFFFFFF, length))
+    )
+
+
+class TestConstruction:
+    def test_from_cidr_string(self):
+        prefix = Prefix("192.0.2.0/24")
+        assert prefix.network == 0xC0000200
+        assert prefix.length == 24
+
+    def test_from_network_and_length(self):
+        assert str(Prefix(0xC0000200, 24)) == "192.0.2.0/24"
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix("192.0.2.1/24")
+
+    def test_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Prefix(0, -1)
+
+    def test_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0")
+
+    def test_zero_length(self):
+        assert Prefix("0.0.0.0/0").size == 1 << 32
+
+
+class TestProperties:
+    def test_netmask(self):
+        assert Prefix("10.0.0.0/8").netmask == 0xFF000000
+        assert Prefix("0.0.0.0/0").netmask == 0
+
+    def test_broadcast(self):
+        assert Prefix("192.0.2.0/24").broadcast == 0xC00002FF
+
+    def test_size(self):
+        assert Prefix("192.0.2.0/24").size == 256
+        assert Prefix("10.0.0.0/8").size == 1 << 24
+
+    def test_block_count(self):
+        assert Prefix("192.0.2.0/24").block_count == 1
+        assert Prefix("10.0.0.0/16").block_count == 256
+        assert Prefix("192.0.2.128/25").block_count == 0
+
+    def test_blocks_iteration(self):
+        blocks = list(Prefix("10.0.0.0/22").blocks())
+        assert len(blocks) == 4
+        assert blocks[0] == 0x0A0000
+        assert blocks[-1] == 0x0A0003
+
+    def test_blocks_empty_for_long_prefix(self):
+        assert list(Prefix("10.0.0.128/25").blocks()) == []
+
+
+class TestContainment:
+    def test_contains_address(self):
+        prefix = Prefix("192.0.2.0/24")
+        assert prefix.contains_address(0xC0000280)
+        assert not prefix.contains_address(0xC0000380)
+
+    def test_contains_prefix(self):
+        assert Prefix("10.0.0.0/8").contains_prefix(Prefix("10.1.0.0/16"))
+        assert not Prefix("10.1.0.0/16").contains_prefix(Prefix("10.0.0.0/8"))
+        assert Prefix("10.0.0.0/8").contains_prefix(Prefix("10.0.0.0/8"))
+
+    def test_overlaps(self):
+        assert Prefix("10.0.0.0/8").overlaps(Prefix("10.1.0.0/16"))
+        assert Prefix("10.1.0.0/16").overlaps(Prefix("10.0.0.0/8"))
+        assert not Prefix("10.0.0.0/8").overlaps(Prefix("11.0.0.0/8"))
+
+    @given(aligned_prefixes())
+    def test_contains_own_network_and_broadcast(self, prefix):
+        assert prefix.contains_address(prefix.network)
+        assert prefix.contains_address(prefix.broadcast)
+
+
+class TestSubnetting:
+    def test_subnets(self):
+        children = list(Prefix("10.0.0.0/8").subnets(10))
+        assert len(children) == 4
+        assert children[0] == Prefix("10.0.0.0/10")
+        assert children[-1] == Prefix("10.192.0.0/10")
+
+    def test_subnets_same_length(self):
+        assert list(Prefix("10.0.0.0/8").subnets(8)) == [Prefix("10.0.0.0/8")]
+
+    def test_subnets_shorter_rejected(self):
+        with pytest.raises(AddressError):
+            list(Prefix("10.0.0.0/8").subnets(7))
+
+    def test_supernet(self):
+        assert Prefix("10.128.0.0/9").supernet() == Prefix("10.0.0.0/8")
+
+    def test_supernet_of_default_rejected(self):
+        with pytest.raises(AddressError):
+            Prefix("0.0.0.0/0").supernet()
+
+    @given(aligned_prefixes().filter(lambda p: p.length > 0))
+    def test_supernet_contains_child(self, prefix):
+        assert prefix.supernet().contains_prefix(prefix)
+
+
+class TestOrderingAndHash:
+    def test_sort_order(self):
+        prefixes = [Prefix("10.0.0.0/16"), Prefix("10.0.0.0/8"), Prefix("9.0.0.0/8")]
+        ordered = sorted(prefixes)
+        assert ordered[0] == Prefix("9.0.0.0/8")
+        assert ordered[1] == Prefix("10.0.0.0/8")
+
+    def test_hashable(self):
+        assert len({Prefix("10.0.0.0/8"), Prefix("10.0.0.0/8")}) == 1
+
+    @given(aligned_prefixes())
+    def test_string_roundtrip(self, prefix):
+        assert Prefix(str(prefix)) == prefix

@@ -1,0 +1,66 @@
+"""Tests for prefix sets and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netaddr.prefix import Prefix
+from repro.netaddr.sets import PrefixSet
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/8")])
+        assert Prefix("10.0.0.0/8") in prefixes
+        assert Prefix("11.0.0.0/8") not in prefixes
+
+    def test_discard(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/8")])
+        prefixes.discard(Prefix("10.0.0.0/8"))
+        assert len(prefixes) == 0
+
+    def test_covers_address(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/8")])
+        assert prefixes.covers_address(0x0A123456)
+        assert not prefixes.covers_address(0x0B000000)
+
+    def test_covering_prefix_longest(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/8"), Prefix("10.1.0.0/16")])
+        assert prefixes.covering_prefix(0x0A010101) == Prefix("10.1.0.0/16")
+
+    def test_covering_prefix_raises(self):
+        with pytest.raises(KeyError):
+            PrefixSet().covering_prefix(0)
+
+    def test_iteration_sorted(self):
+        prefixes = PrefixSet([Prefix("11.0.0.0/8"), Prefix("10.0.0.0/8")])
+        assert [str(p) for p in prefixes] == ["10.0.0.0/8", "11.0.0.0/8"]
+
+
+class TestAggregation:
+    def test_merges_siblings(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/9"), Prefix("10.128.0.0/9")])
+        assert list(prefixes.aggregated()) == [Prefix("10.0.0.0/8")]
+
+    def test_drops_covered_subnets(self):
+        prefixes = PrefixSet([Prefix("10.0.0.0/8"), Prefix("10.1.0.0/16")])
+        assert list(prefixes.aggregated()) == [Prefix("10.0.0.0/8")]
+
+    def test_cascading_merge(self):
+        quarters = [
+            Prefix("10.0.0.0/10"),
+            Prefix("10.64.0.0/10"),
+            Prefix("10.128.0.0/10"),
+            Prefix("10.192.0.0/10"),
+        ]
+        assert list(PrefixSet(quarters).aggregated()) == [Prefix("10.0.0.0/8")]
+
+    def test_non_siblings_kept(self):
+        prefixes = PrefixSet([Prefix("10.128.0.0/9"), Prefix("11.0.0.0/9")])
+        assert len(prefixes.aggregated()) == 2
+
+    def test_address_count(self):
+        prefixes = PrefixSet(
+            [Prefix("10.0.0.0/9"), Prefix("10.128.0.0/9"), Prefix("10.0.0.0/16")]
+        )
+        assert prefixes.address_count() == 1 << 24

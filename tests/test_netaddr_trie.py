@@ -1,0 +1,114 @@
+"""Tests for the longest-prefix-match trie."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netaddr.prefix import Prefix
+from repro.netaddr.trie import LongestPrefixTrie
+
+
+def make_trie(entries):
+    trie = LongestPrefixTrie()
+    for prefix_text, value in entries:
+        trie.insert(Prefix(prefix_text), value)
+    return trie
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        assert LongestPrefixTrie().lookup(0x01020304) is None
+
+    def test_exact_match(self):
+        trie = make_trie([("10.0.0.0/8", "a")])
+        assert trie.exact(Prefix("10.0.0.0/8")) == "a"
+        assert trie.exact(Prefix("10.0.0.0/16")) is None
+
+    def test_contains(self):
+        trie = make_trie([("10.0.0.0/8", "a")])
+        assert Prefix("10.0.0.0/8") in trie
+        assert Prefix("11.0.0.0/8") not in trie
+
+    def test_len_counts_values(self):
+        trie = make_trie([("10.0.0.0/8", "a"), ("10.0.0.0/16", "b")])
+        assert len(trie) == 2
+
+    def test_replace_does_not_grow(self):
+        trie = make_trie([("10.0.0.0/8", "a")])
+        trie.insert(Prefix("10.0.0.0/8"), "b")
+        assert len(trie) == 1
+        assert trie.exact(Prefix("10.0.0.0/8")) == "b"
+
+    def test_remove(self):
+        trie = make_trie([("10.0.0.0/8", "a")])
+        assert trie.remove(Prefix("10.0.0.0/8"))
+        assert not trie.remove(Prefix("10.0.0.0/8"))
+        assert trie.lookup(0x0A000001) is None
+
+
+class TestLongestPrefixMatch:
+    def test_prefers_longest(self):
+        trie = make_trie([("10.0.0.0/8", "short"), ("10.1.0.0/16", "long")])
+        match = trie.lookup(0x0A010101)
+        assert match == (Prefix("10.1.0.0/16"), "long")
+
+    def test_falls_back_to_shorter(self):
+        trie = make_trie([("10.0.0.0/8", "short"), ("10.1.0.0/16", "long")])
+        assert trie.lookup(0x0A020101) == (Prefix("10.0.0.0/8"), "short")
+
+    def test_default_route(self):
+        trie = make_trie([("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten")])
+        assert trie.lookup_value(0x0B000001) == "default"
+        assert trie.lookup_value(0x0A000001) == "ten"
+
+    def test_host_route(self):
+        trie = make_trie([("192.0.2.1/32", "host")])
+        assert trie.lookup_value(0xC0000201) == "host"
+        assert trie.lookup_value(0xC0000202) is None
+
+    def test_items_ordered(self):
+        trie = make_trie(
+            [("10.1.0.0/16", 2), ("9.0.0.0/8", 1), ("10.1.0.0/24", 3)]
+        )
+        assert [str(p) for p, _ in trie.items()] == [
+            "9.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.0.0/24",
+        ]
+
+
+@st.composite
+def disjoint_24s(draw):
+    blocks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 24) - 1),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    return [Prefix(block << 8, 24) for block in blocks]
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(disjoint_24s())
+    def test_lookup_matches_linear_scan(self, prefixes):
+        trie = LongestPrefixTrie()
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        for index, prefix in enumerate(prefixes):
+            probe = prefix.network + 17
+            assert trie.lookup(probe) == (prefix, index)
+
+    @settings(max_examples=50)
+    @given(disjoint_24s())
+    def test_to_dict_preserves_everything(self, prefixes):
+        trie = LongestPrefixTrie()
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        snapshot = trie.to_dict()
+        assert len(snapshot) == len(prefixes)
+        for index, prefix in enumerate(prefixes):
+            assert snapshot[prefix] == index

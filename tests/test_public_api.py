@@ -1,0 +1,69 @@
+"""Public API surface: everything advertised in __all__ must resolve."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.netaddr",
+    "repro.geo",
+    "repro.topology",
+    "repro.bgp",
+    "repro.anycast",
+    "repro.icmp",
+    "repro.probing",
+    "repro.collector",
+    "repro.dns",
+    "repro.atlas",
+    "repro.resolvers",
+    "repro.traffic",
+    "repro.load",
+    "repro.core",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_packages_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and len(package.__doc__.strip()) > 20
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    for name in (
+        "AddressError", "TopologyError", "RoutingError", "MeasurementError",
+        "PacketError", "DNSError", "DatasetError", "ConfigurationError",
+    ):
+        exception_type = getattr(errors, name)
+        assert issubclass(exception_type, errors.ReproError)
+
+
+def test_quickstart_snippet_works():
+    """The README quickstart, verbatim."""
+    from repro import broot_like, Verfploeter
+
+    scenario = broot_like(scale="tiny")
+    vp = Verfploeter(scenario.internet, scenario.service)
+    scan = vp.run_scan()
+    fractions = scan.catchment.fractions()
+    assert set(fractions) == {"LAX", "MIA"}
+    assert sum(fractions.values()) == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Tests for the open-resolver measurement platform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resolvers.platform import OpenResolverPlatform
+
+
+@pytest.fixture(scope="module")
+def platform(broot_tiny):
+    return OpenResolverPlatform(broot_tiny.internet)
+
+
+class TestDiscovery:
+    def test_density(self, broot_tiny, platform):
+        fraction = len(platform) / len(broot_tiny.internet)
+        assert 0.02 < fraction < 0.08  # ~4.5% of blocks host open resolvers
+
+    def test_shutdown_removes_resolvers(self, broot_tiny):
+        full = OpenResolverPlatform(broot_tiny.internet, shutdown_fraction=0.0)
+        shrunk = OpenResolverPlatform(broot_tiny.internet, shutdown_fraction=0.6)
+        assert len(shrunk) < len(full)
+        # Survivors are a subset of the historical population.
+        assert set(shrunk.resolver_blocks) <= set(full.resolver_blocks)
+
+    def test_deterministic(self, broot_tiny):
+        first = OpenResolverPlatform(broot_tiny.internet)
+        second = OpenResolverPlatform(broot_tiny.internet)
+        assert first.resolver_blocks == second.resolver_blocks
+
+    def test_config_validation(self, broot_tiny):
+        with pytest.raises(ConfigurationError):
+            OpenResolverPlatform(broot_tiny.internet, base_density=0.0)
+        with pytest.raises(ConfigurationError):
+            OpenResolverPlatform(broot_tiny.internet, shutdown_fraction=1.0)
+
+
+class TestMeasurement:
+    def test_sites_match_routing(self, broot_tiny, broot_routing, platform):
+        measurement = platform.measure(
+            broot_routing, broot_tiny.service, measurement_id=2
+        )
+        assert measurement.considered_resolvers == len(platform)
+        assert measurement.responding
+        for result in measurement.responding:
+            assert result.site_code == broot_routing.site_of_block(result.block, 2)
+            assert result.hostname.startswith(result.site_code.lower())
+
+    def test_some_resolvers_busy(self, broot_tiny, broot_routing, platform):
+        measurement = platform.measure(broot_routing, broot_tiny.service)
+        assert len(measurement.responding) < measurement.considered_resolvers
+
+    def test_fractions_sum(self, broot_tiny, broot_routing, platform):
+        measurement = platform.measure(broot_routing, broot_tiny.service)
+        assert sum(measurement.fractions().values()) == pytest.approx(1.0)
+
+    def test_coverage_between_atlas_and_verfploeter(
+        self, broot_tiny, broot_routing, broot_scan, platform
+    ):
+        """Historically: more VPs than Atlas, fewer than Verfploeter."""
+        atlas = broot_tiny.atlas.measure(broot_routing, broot_tiny.service)
+        resolver_blocks = len(
+            platform.measure(broot_routing, broot_tiny.service).responding_blocks()
+        )
+        assert len(atlas.responding_blocks()) < resolver_blocks
+        assert resolver_blocks < broot_scan.mapped_blocks

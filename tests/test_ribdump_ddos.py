@@ -1,0 +1,117 @@
+"""Tests for the RIB dump and attack-absorption analysis."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.bgp.ribdump import read_rib_dump, write_rib_dump
+from repro.core.experiments import attack_absorption
+from repro.errors import DatasetError
+
+
+class TestRibDump:
+    @pytest.fixture(scope="class")
+    def lookup(self, tiny_internet):
+        buffer = io.StringIO()
+        write_rib_dump(tiny_internet, buffer)
+        buffer.seek(0)
+        return read_rib_dump(buffer)
+
+    def test_every_announced_prefix_present(self, tiny_internet, lookup):
+        assert len(lookup) == len(tiny_internet.announced)
+
+    def test_origin_matches_topology(self, tiny_internet, lookup):
+        for block in list(tiny_internet.blocks)[:300]:
+            assert lookup.origin_of_block(block) == tiny_internet.asn_of_block(block)
+
+    def test_unrouted_space_unmapped(self, lookup):
+        assert lookup.origin_of_address(0xDEADBEEF) is None
+        assert lookup.origin_of_block(0xFFFFFF) is None
+
+    def test_prefix_of_address(self, tiny_internet, lookup):
+        block = list(tiny_internet.blocks)[0]
+        prefix = lookup.prefix_of_address(block << 8)
+        assert prefix is not None
+        assert prefix.contains_address(block << 8)
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(DatasetError):
+            read_rib_dump(io.StringIO("10.0.0.0/8\n"))
+        with pytest.raises(DatasetError):
+            read_rib_dump(io.StringIO("10.0.0.0/8 notanasn\n"))
+
+    def test_rejects_empty_dump(self):
+        with pytest.raises(DatasetError):
+            read_rib_dump(io.StringIO("# prefix origin-as\n"))
+
+    def test_comments_and_blanks_ignored(self):
+        lookup = read_rib_dump(io.StringIO("# header\n\n10.0.0.0/8 65000\n"))
+        assert lookup.origin_of_address(0x0A000001) == 65000
+
+
+class TestAttackAbsorption:
+    def test_shares_sum_to_one(self, tiny_internet, two_site_routing):
+        attackers = list(tiny_internet.blocks)[:200]
+        absorption = attack_absorption(two_site_routing, attackers)
+        assert sum(absorption.share.values()) == pytest.approx(1.0)
+        assert absorption.attacker_blocks == 200
+        assert absorption.unmapped == 0
+
+    def test_unmapped_attackers_counted(self, two_site_routing):
+        absorption = attack_absorption(two_site_routing, [0xFFFFFF, 0xFFFFFE])
+        assert absorption.unmapped == 2
+        assert sum(absorption.share.values()) == 0.0
+
+    def test_matches_catchment(self, tiny_internet, two_site_routing):
+        attackers = list(tiny_internet.blocks)[:100]
+        absorption = attack_absorption(two_site_routing, attackers)
+        expected_a = sum(
+            1 for b in attackers if two_site_routing.site_of_block(b) == "A"
+        )
+        assert absorption.share["A"] == pytest.approx(expected_a / 100)
+
+    def test_regional_attack_is_skewed(self, broot_tiny, broot_routing):
+        """A single-country botnet concentrates on few sites."""
+        cn_blocks = [
+            block for block in broot_tiny.internet.blocks
+            if broot_tiny.internet.country_of_block(block) == "CN"
+        ]
+        if len(cn_blocks) < 20:
+            pytest.skip("too few CN blocks at tiny scale")
+        absorption = attack_absorption(broot_routing, cn_blocks)
+        _, hottest = absorption.hottest_site()
+        assert hottest > 0.5
+
+    def test_round_aware(self, broot_tiny, broot_routing):
+        attackers = list(broot_tiny.internet.blocks)
+        first = attack_absorption(broot_routing, attackers, round_id=1)
+        second = attack_absorption(broot_routing, attackers, round_id=2)
+        # Flips shift a tiny fraction between rounds.
+        assert abs(first.share["LAX"] - second.share["LAX"]) < 0.05
+
+
+class TestPathDump:
+    def test_roundtrip(self, tiny_internet, two_site_routing):
+        import io
+
+        from repro.bgp.ribdump import read_path_dump, write_path_dump
+
+        buffer = io.StringIO()
+        write_path_dump(two_site_routing, buffer)
+        buffer.seek(0)
+        paths = read_path_dump(buffer)
+        assert len(paths) == len(two_site_routing.selections)
+        for asn, hops in paths.items():
+            assert tuple(hops) == two_site_routing.selection_of(asn).as_path
+
+    def test_rejects_garbage(self):
+        import io
+
+        from repro.bgp.ribdump import read_path_dump
+
+        with pytest.raises(DatasetError):
+            read_path_dump(io.StringIO("# only a header\n"))
+        with pytest.raises(DatasetError):
+            read_path_dump(io.StringIO("notanasn: 1 2 3\n"))

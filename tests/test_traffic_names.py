@@ -1,0 +1,76 @@
+"""Tests tying the workload's good-reply fractions to the DNS substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.message import CLASS_IN, TYPE_A, DnsMessage
+from repro.dns.root import RootServer, build_root_zone
+from repro.errors import ConfigurationError
+from repro.traffic.names import QueryNameSampler
+
+
+@pytest.fixture(scope="module")
+def zone():
+    return build_root_zone()
+
+
+@pytest.fixture(scope="module")
+def sampler(zone):
+    return QueryNameSampler(zone, seed=77)
+
+
+@pytest.fixture(scope="module")
+def server(zone):
+    return RootServer("LAX", "b.root-servers.net", zone)
+
+
+class TestSampler:
+    def test_deterministic(self, sampler):
+        assert sampler.sample_many(5, 20, 0.5) == sampler.sample_many(5, 20, 0.5)
+
+    def test_extremes(self, sampler, server):
+        all_good = sampler.sample_many(1, 50, 1.0)
+        all_junk = sampler.sample_many(1, 50, 0.0)
+        for name in all_good:
+            assert server.is_good_reply(DnsMessage.query(1, name, TYPE_A, CLASS_IN))
+        for name in all_junk:
+            assert not server.is_good_reply(
+                DnsMessage.query(1, name, TYPE_A, CLASS_IN)
+            )
+
+    def test_served_ratio_matches_configuration(self, sampler, server):
+        """Feeding sampled names through the real root server recovers
+        the configured good fraction (the paper's §3.2 load split)."""
+        target = 0.6
+        names = sampler.sample_many(42, 400, target)
+        good = sum(
+            server.is_good_reply(DnsMessage.query(1, name, TYPE_A, CLASS_IN))
+            for name in names
+        )
+        assert good / len(names) == pytest.approx(target, abs=0.08)
+
+    def test_names_vary_by_block(self, sampler):
+        assert sampler.sample_many(1, 10, 0.5) != sampler.sample_many(2, 10, 0.5)
+
+    def test_empty_zone_rejected(self):
+        from repro.dns.message import DnsRecord
+        from repro.dns.zone import Zone
+
+        bare = Zone("", DnsRecord.soa("", "a.example", "h.example", 1))
+        with pytest.raises(ConfigurationError):
+            QueryNameSampler(bare, seed=1)
+
+
+class TestEndToEndQueryPath:
+    def test_wire_roundtrip_through_root(self, sampler, server):
+        """Sampled name -> encoded query -> server -> encoded response."""
+        for index, name in enumerate(sampler.sample_many(9, 10, 0.5)):
+            query = DnsMessage.query(index, name, TYPE_A, CLASS_IN)
+            response = server.handle(DnsMessage.decode(query.encode()))
+            decoded = DnsMessage.decode(response.encode())
+            assert decoded.message_id == index
+            assert decoded.is_response
+            assert decoded.rcode in (0, 3)
+            if decoded.rcode == 0:
+                assert decoded.authorities  # referral to a TLD
