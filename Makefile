@@ -1,12 +1,15 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test bench examples report all
+.PHONY: install test lint bench examples report all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.lint src tests benchmarks examples
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -20,4 +23,4 @@ examples:
 report:
 	python -m repro paper --scenario broot --scale small --outdir repro-report
 
-all: test bench
+all: lint test bench

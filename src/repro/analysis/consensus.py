@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.anycast.catchment import CatchmentMap
-from repro.core.verfploeter import ScanResult
+from repro.collector.results import ScanResult
 from repro.errors import DatasetError
 
 

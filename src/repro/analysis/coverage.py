@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.analysis.report import render_table
-from repro.core.comparison import CoverageComparison
+from repro.analysis.results import CoverageComparison
 
 
 def coverage_rows(comparison: CoverageComparison) -> List[Tuple[str, int, int, int]]:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.analysis.divisions import prefix_site_distribution
 from repro.anycast.catchment import CatchmentMap
-from repro.core.experiments import PrependMeasurement, StabilitySeries
+from repro.analysis.results import PrependMeasurement, StabilitySeries
 from repro.geo.grid import GeoGrid
 from repro.topology.internet import Internet
 

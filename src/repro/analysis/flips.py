@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.report import render_table
-from repro.core.experiments import StabilityRound, StabilitySeries
+from repro.analysis.results import StabilityRound, StabilitySeries
 from repro.topology.internet import Internet
 
 

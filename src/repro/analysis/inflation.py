@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import render_table
-from repro.core.verfploeter import ScanResult
+from repro.collector.results import ScanResult
 from repro.icmp.latency import LatencyModel
 
 

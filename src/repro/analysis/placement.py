@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.verfploeter import ScanResult
+from repro.collector.results import ScanResult
 from repro.errors import ConfigurationError
 from repro.geo.geodb import GeoDatabase
 from repro.geo.grid import GeoGrid

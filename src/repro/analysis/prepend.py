@@ -7,7 +7,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.report import render_table
-from repro.core.experiments import PrependMeasurement
+from repro.analysis.results import PrependMeasurement
 from repro.load.estimator import LoadEstimate
 from repro.load.weighting import UNKNOWN, weight_catchment
 

@@ -91,7 +91,7 @@ class CatchmentMap:
         flipped: List[int] = []
         earlier_blocks: Set[int] = set(self._mapping)
         later_blocks: Set[int] = set(later._mapping)
-        for block in earlier_blocks & later_blocks:
+        for block in sorted(earlier_blocks & later_blocks):
             if self._mapping[block] == later._mapping[block]:
                 stable += 1
             else:
@@ -101,5 +101,5 @@ class CatchmentMap:
             flipped=len(flipped),
             appeared=len(later_blocks - earlier_blocks),
             disappeared=len(earlier_blocks - later_blocks),
-            flipped_blocks=tuple(sorted(flipped)),
+            flipped_blocks=tuple(flipped),
         )

@@ -255,15 +255,17 @@ class BgpUpdateSimulator:
             stats.selection_changes += 1
             previously = exported_to[importer]
             if new_selection is None:
-                for neighbor in previously:
+                # Sorted drain: set iteration order must not decide the
+                # update-queue order (it would vary run-to-run).
+                for neighbor in sorted(previously):
                     queue.append((neighbor, importer, None))
                 exported_to[importer] = set()
                 continue
             now = set(eligible_importers(importer, new_selection))
-            for neighbor in previously - now:
+            for neighbor in sorted(previously - now):
                 queue.append((neighbor, importer, None))
             outgoing = Offer(new_selection.site_code, new_selection.cost)
-            for neighbor in now:
+            for neighbor in sorted(now):
                 queue.append((neighbor, importer, outgoing))
             exported_to[importer] = now
 

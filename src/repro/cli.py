@@ -29,7 +29,7 @@ from repro.core.scenarios import SCALES, Scenario, broot_like, cdn_like, nl_like
 from repro.core.verfploeter import Verfploeter
 from repro.datasets import write_scan
 from repro.load.estimator import LoadEstimate
-from repro.traffic.rssac import build_rssac_report
+from repro.load.rssac import build_rssac_report
 
 _SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "broot": broot_like,

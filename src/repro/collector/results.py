@@ -1,0 +1,75 @@
+"""Scan result value types.
+
+These are produced by the measurement drivers in :mod:`repro.core`
+but consumed throughout the analysis layer, so they live here (the
+collector layer) to keep analysis below core in the layer DAG.
+``repro.core`` re-exports them for its callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.anycast.catchment import CatchmentMap
+
+_PROBE_BYTES = 28 + 11  # IPv4 + ICMP headers + default payload
+
+
+@dataclass(frozen=True)
+class ScanStats:
+    """Bookkeeping of one scan (paper §4 cleaning numbers)."""
+
+    probes_sent: int
+    replies_received: int
+    wrong_round: int
+    unsolicited: int
+    late: int
+    duplicates: int
+    kept: int
+
+    @property
+    def response_rate(self) -> float:
+        """Fraction of probed blocks that yielded a kept reply."""
+        return self.kept / self.probes_sent if self.probes_sent else 0.0
+
+    @property
+    def traffic_megabytes(self) -> float:
+        """Probe traffic volume (the paper reports ~128 MB per round)."""
+        return self.probes_sent * _PROBE_BYTES / 1e6
+
+
+@dataclass
+class ScanResult:
+    """One completed Verfploeter measurement round.
+
+    ``rtts`` maps each mapped block to the measured round-trip time in
+    milliseconds (probe transmission to first kept reply) — the raw
+    material for latency analysis and site-placement suggestions.
+    """
+
+    dataset_id: str
+    round_id: int
+    start_time: float
+    duration_seconds: float
+    catchment: CatchmentMap
+    stats: ScanStats
+    rtts: Optional[Dict[int, float]] = None
+
+    @property
+    def mapped_blocks(self) -> int:
+        """Blocks with a measured catchment."""
+        return len(self.catchment)
+
+    def median_rtt_of_site(self, site_code: str) -> Optional[float]:
+        """Median measured RTT (ms) of blocks in ``site_code``'s catchment."""
+        if not self.rtts:
+            return None
+        values = sorted(
+            rtt
+            for block, rtt in self.rtts.items()
+            if self.catchment.site_of(block) == site_code
+        )
+        if not values:
+            return None
+        return values[len(values) // 2]

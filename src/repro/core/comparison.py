@@ -2,47 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Set
 
+from repro.analysis.results import CoverageComparison
 from repro.atlas.platform import AtlasMeasurement
-from repro.core.verfploeter import ScanResult
+from repro.collector.results import ScanResult
 from repro.topology.internet import Internet
-
-
-@dataclass(frozen=True)
-class CoverageComparison:
-    """Every row of the paper's Table 4, for both systems."""
-
-    atlas_considered_vps: int
-    atlas_considered_blocks: int
-    atlas_nonresponding_vps: int
-    atlas_nonresponding_blocks: int
-    atlas_responding_vps: int
-    atlas_responding_blocks: int
-    atlas_geolocatable_blocks: int
-    atlas_unique_blocks: int
-    verf_considered_blocks: int
-    verf_nonresponding_blocks: int
-    verf_responding_blocks: int
-    verf_no_location_blocks: int
-    verf_geolocatable_blocks: int
-    verf_unique_blocks: int
-    overlap_blocks: int
-
-    @property
-    def coverage_ratio(self) -> float:
-        """How many times more blocks Verfploeter sees (paper: ~430x)."""
-        if self.atlas_responding_blocks == 0:
-            return float("inf")
-        return self.verf_responding_blocks / self.atlas_responding_blocks
-
-    @property
-    def atlas_overlap_fraction(self) -> float:
-        """Share of Atlas blocks also seen by Verfploeter (paper: ~77%)."""
-        if self.atlas_responding_blocks == 0:
-            return 0.0
-        return self.overlap_blocks / self.atlas_responding_blocks
 
 
 def compare_coverage(

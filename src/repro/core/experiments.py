@@ -2,14 +2,19 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.anycast.catchment import CatchmentMap
 from repro.atlas.platform import AtlasPlatform
 from repro.bgp.policy import AnnouncementPolicy
 from repro.bgp.propagation import RoutingConfig, compute_routes
-from repro.core.verfploeter import ScanResult, Verfploeter
+from repro.analysis.results import (
+    PrependMeasurement,
+    StabilityRound,
+    StabilitySeries,
+)
+from repro.collector.results import ScanResult
+from repro.core.verfploeter import Verfploeter
 from repro.load.estimator import LoadEstimate
 from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
 
@@ -21,25 +26,6 @@ BROOT_PREPEND_CONFIGS: Tuple[Tuple[str, Mapping[str, int]], ...] = (
     ("+2 MIA", {"MIA": 2}),
     ("+3 MIA", {"MIA": 3}),
 )
-
-
-@dataclass(frozen=True)
-class PrependMeasurement:
-    """One prepending configuration measured with both systems."""
-
-    label: str
-    policy: AnnouncementPolicy
-    atlas_fractions: Dict[str, float]
-    verfploeter_fractions: Dict[str, float]
-    scan: ScanResult
-
-    def atlas_fraction_of(self, site_code: str) -> float:
-        """Share of Atlas VPs at ``site_code``."""
-        return self.atlas_fractions.get(site_code, 0.0)
-
-    def verfploeter_fraction_of(self, site_code: str) -> float:
-        """Share of Verfploeter /24s at ``site_code``."""
-        return self.verfploeter_fractions.get(site_code, 0.0)
 
 
 def prepend_sweep(
@@ -74,62 +60,6 @@ def prepend_sweep(
             )
         )
     return results
-
-
-@dataclass(frozen=True)
-class StabilityRound:
-    """Transitions from the previous round (paper Figure 9 categories)."""
-
-    round_id: int
-    stable: int
-    flipped: int
-    to_nr: int
-    from_nr: int
-
-
-@dataclass
-class StabilitySeries:
-    """A full stability study: scans plus per-round transitions."""
-
-    scans: List[ScanResult]
-    rounds: List[StabilityRound] = field(default_factory=list)
-    flip_counts: Dict[int, int] = field(default_factory=dict)
-
-    @property
-    def round_count(self) -> int:
-        """Number of measurement rounds."""
-        return len(self.scans)
-
-    def flipping_blocks(self) -> Set[int]:
-        """Blocks that changed catchment at least once."""
-        return set(self.flip_counts)
-
-    def total_flips(self) -> int:
-        """Total catchment changes observed across the series."""
-        return sum(self.flip_counts.values())
-
-    def median_of(self, category: str) -> float:
-        """Median per-round count of ``stable``/``flipped``/``to_nr``/``from_nr``."""
-        values = sorted(getattr(entry, category) for entry in self.rounds)
-        if not values:
-            return 0.0
-        middle = len(values) // 2
-        if len(values) % 2:
-            return float(values[middle])
-        return (values[middle - 1] + values[middle]) / 2.0
-
-    def stable_catchment(self) -> CatchmentMap:
-        """Final-round catchment restricted to never-flipping blocks.
-
-        This is the paper's §6.2 preprocessing: flipping VPs are removed
-        before analysing intra-AS divisions, so unstable routing is not
-        mistaken for a split AS.
-        """
-        last = self.scans[-1].catchment
-        flipping = self.flipping_blocks()
-        return last.restrict(
-            block for block in last.blocks() if block not in flipping
-        )
 
 
 def run_stability_series(

@@ -24,7 +24,7 @@ from repro.bgp.propagation import RoutingOutcome
 from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
 from repro.geo.distance import EARTH_RADIUS_KM
 from repro.icmp import latency as _latency
-from repro.rng import derive_seed, mix64, uniform_unit_np
+from repro.rng import mix64, uniform_unit_np
 from repro.topology import hosts as _hosts
 
 _ROUNDS = 4  # Feistel rounds; must match probing.order
@@ -164,7 +164,7 @@ class FastScanEngine:
         self._access = low + (high - low) * access_draw * access_draw
         self._jitter_scale = lm._jitter
 
-        self._order_seed_base = internet.seed
+        self._prober = verfploeter._prober
         self._interval = 1.0 / verfploeter.prober_config.rate_pps
         self._late_cutoff = verfploeter.cleaning.late_cutoff_seconds
 
@@ -172,8 +172,9 @@ class FastScanEngine:
 
     def _send_offsets(self, round_id: int) -> np.ndarray:
         """Seconds after round start each hitlist entry's probe is sent."""
-        order_seed = derive_seed(self._order_seed_base, f"probe-order-{round_id}")
-        perm = _VectorPermutation(self._n, order_seed).permutation()
+        # One derivation site: reuse the scalar prober's stream so both
+        # engines walk the identical permutation.
+        perm = _VectorPermutation(self._n, self._prober.order_seed(round_id)).permutation()
         offsets = np.empty(self._n, dtype=np.float64)
         offsets[perm] = np.arange(self._n, dtype=np.float64) * self._interval
         return offsets

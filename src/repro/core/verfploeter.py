@@ -9,7 +9,6 @@ site, aggregate centrally, clean, and emit a measured catchment map.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.anycast.catchment import CatchmentMap
@@ -24,6 +23,7 @@ from repro.collector.capture import (
     StreamingCapture,
 )
 from repro.collector.cleaning import CleaningConfig, clean_replies
+from repro.collector.results import ScanResult, ScanStats
 from repro.errors import ConfigurationError, MeasurementError
 from repro.icmp.latency import LatencyModel
 from repro.icmp.network import SimulatedDataplane
@@ -33,68 +33,8 @@ from repro.probing.prober import Prober, ProberConfig
 from repro.topology.internet import Internet
 
 _WIRE_LEVEL_CUTOFF = 5_000
-_PROBE_BYTES = 28 + 11  # IPv4 + ICMP headers + default payload
 
 CAPTURE_STYLES = ("streaming", "lander", "pcap", "pcapbin")
-
-
-@dataclass(frozen=True)
-class ScanStats:
-    """Bookkeeping of one scan (paper §4 cleaning numbers)."""
-
-    probes_sent: int
-    replies_received: int
-    wrong_round: int
-    unsolicited: int
-    late: int
-    duplicates: int
-    kept: int
-
-    @property
-    def response_rate(self) -> float:
-        """Fraction of probed blocks that yielded a kept reply."""
-        return self.kept / self.probes_sent if self.probes_sent else 0.0
-
-    @property
-    def traffic_megabytes(self) -> float:
-        """Probe traffic volume (the paper reports ~128 MB per round)."""
-        return self.probes_sent * _PROBE_BYTES / 1e6
-
-
-@dataclass
-class ScanResult:
-    """One completed Verfploeter measurement round.
-
-    ``rtts`` maps each mapped block to the measured round-trip time in
-    milliseconds (probe transmission to first kept reply) — the raw
-    material for latency analysis and site-placement suggestions.
-    """
-
-    dataset_id: str
-    round_id: int
-    start_time: float
-    duration_seconds: float
-    catchment: CatchmentMap
-    stats: ScanStats
-    rtts: Optional[Dict[int, float]] = None
-
-    @property
-    def mapped_blocks(self) -> int:
-        """Blocks with a measured catchment."""
-        return len(self.catchment)
-
-    def median_rtt_of_site(self, site_code: str) -> Optional[float]:
-        """Median measured RTT (ms) of blocks in ``site_code``'s catchment."""
-        if not self.rtts:
-            return None
-        values = sorted(
-            rtt
-            for block, rtt in self.rtts.items()
-            if self.catchment.site_of(block) == site_code
-        )
-        if not values:
-            return None
-        return values[len(values) // 2]
 
 
 class Verfploeter:

@@ -15,6 +15,14 @@ class AddressError(ReproError, ValueError):
     """An IPv4 address or prefix was malformed or out of range."""
 
 
+class PrefixLookupError(ReproError, KeyError):
+    """A prefix/address lookup found no covering entry.
+
+    Subclasses :class:`KeyError` so callers treating prefix sets as
+    mappings keep working.
+    """
+
+
 class TopologyError(ReproError):
     """The synthetic topology is inconsistent or a lookup failed."""
 

@@ -1,0 +1,645 @@
+"""Determinism-hygiene rules (family ``D1xx``).
+
+Everything stochastic in this library must flow from explicit integer
+seeds through :mod:`repro.rng`; everything ordered must be ordered on
+purpose.  These rules ban the ambient-state escape hatches: the global
+``random`` module, wall clocks, OS entropy, ``PYTHONHASHSEED``-keyed
+``hash()``, and set-iteration order leaking into ordered outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.violations import (
+    ALL_KINDS,
+    LIBRARY,
+    Violation,
+    register_rule,
+)
+
+_RANDOM_GLOBAL_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "betavariate", "expovariate",
+        "gammavariate", "gauss", "lognormvariate", "normalvariate",
+        "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+        "randbytes", "seed", "setstate", "binomialvariate",
+    }
+)
+
+_WALL_CLOCK_TIME_FNS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns"})
+_WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_ORDER_NEUTRAL_WRAPPERS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+_SEQUENCE_LEAK_METHODS = frozenset({"append", "extend", "appendleft", "insert"})
+_SET_METHODS_RETURNING_SET = frozenset(
+    {"union", "difference", "intersection", "symmetric_difference", "copy"}
+)
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class _ImportMap:
+    """Which local names are bound to the modules/functions we police."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.random_modules: Set[str] = set()
+        self.numpy_modules: Set[str] = set()
+        self.numpy_random_names: Set[str] = set()
+        self.time_modules: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.os_modules: Set[str] = set()
+        self.uuid_modules: Set[str] = set()
+        self.secrets_names: Set[str] = set()
+        self.random_fn_aliases: Dict[str, str] = {}
+        self.random_class_aliases: Set[str] = set()
+        self.system_random_aliases: Set[str] = set()
+        self.time_fn_aliases: Dict[str, str] = {}
+        self.urandom_aliases: Set[str] = set()
+        self.uuid_fn_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        self.random_modules.add(bound)
+                    elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random":
+                            self.numpy_random_names.add(alias.asname or "numpy")
+                        self.numpy_modules.add(bound)
+                    elif alias.name == "time":
+                        self.time_modules.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(bound)
+                    elif alias.name == "os":
+                        self.os_modules.add(bound)
+                    elif alias.name == "uuid":
+                        self.uuid_modules.add(bound)
+                    elif alias.name == "secrets":
+                        self.secrets_names.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "random":
+                        if alias.name in _RANDOM_GLOBAL_FNS:
+                            self.random_fn_aliases[bound] = alias.name
+                        elif alias.name == "Random":
+                            self.random_class_aliases.add(bound)
+                        elif alias.name == "SystemRandom":
+                            self.system_random_aliases.add(bound)
+                    elif node.module == "numpy":
+                        if alias.name == "random":
+                            self.numpy_random_names.add(bound)
+                    elif node.module.startswith("numpy.random"):
+                        self.numpy_random_names.add(bound)
+                    elif node.module == "time":
+                        if alias.name in _WALL_CLOCK_TIME_FNS:
+                            self.time_fn_aliases[bound] = alias.name
+                    elif node.module == "datetime":
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_classes.add(bound)
+                    elif node.module == "os":
+                        if alias.name == "urandom":
+                            self.urandom_aliases.add(bound)
+                    elif node.module == "uuid":
+                        if alias.name in ("uuid1", "uuid4"):
+                            self.uuid_fn_aliases.add(bound)
+                    elif node.module == "secrets":
+                        self.secrets_names.add(bound)
+
+
+def _violation(rule, source, node, message: str) -> Violation:
+    return Violation(
+        rule=rule.rule_id,
+        name=rule.name,
+        path=source.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+@register_rule
+class GlobalRandomRule:
+    """D101: calls into the shared module-level ``random`` state."""
+
+    rule_id = "D101"
+    name = "global-random"
+    description = (
+        "calls to the random module's global functions (random.random, "
+        "random.shuffle, ...) use interpreter-wide hidden state; derive a "
+        "stream with repro.rng.derive_rng instead"
+    )
+    scope = "file"
+    kinds = ALL_KINDS
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        imports = _ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.random_modules
+                and func.attr in _RANDOM_GLOBAL_FNS
+            ):
+                yield _violation(
+                    self, source, node,
+                    f"random.{func.attr}() draws from the global PRNG; use a "
+                    "stream from repro.rng.derive_rng",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in imports.random_fn_aliases
+            ):
+                original = imports.random_fn_aliases[func.id]
+                yield _violation(
+                    self, source, node,
+                    f"{func.id}() (random.{original}) draws from the global "
+                    "PRNG; use a stream from repro.rng.derive_rng",
+                )
+
+
+@register_rule
+class UnseededRandomRule:
+    """D102: ``random.Random()`` with no seed, or ``SystemRandom``."""
+
+    rule_id = "D102"
+    name = "unseeded-random"
+    description = (
+        "random.Random() without an explicit seed (and SystemRandom at "
+        "all) is seeded from OS entropy; pass a derived seed"
+    )
+    scope = "file"
+    kinds = ALL_KINDS
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        imports = _ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_random_class = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.random_modules
+                and func.attr == "Random"
+            ) or (
+                isinstance(func, ast.Name)
+                and func.id in imports.random_class_aliases
+            )
+            is_system_random = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.random_modules
+                and func.attr == "SystemRandom"
+            ) or (
+                isinstance(func, ast.Name)
+                and func.id in imports.system_random_aliases
+            )
+            if is_system_random:
+                yield _violation(
+                    self, source, node,
+                    "SystemRandom draws OS entropy and can never be seeded",
+                )
+            elif is_random_class and not node.args and not node.keywords:
+                yield _violation(
+                    self, source, node,
+                    "random.Random() without a seed is seeded from OS "
+                    "entropy; pass a seed derived via repro.rng.derive_seed",
+                )
+
+
+@register_rule
+class NumpyGlobalRandomRule:
+    """D103: any use of numpy's global random state."""
+
+    rule_id = "D103"
+    name = "numpy-global-random"
+    description = (
+        "numpy.random.* uses numpy's global (or OS-seeded) state; use "
+        "repro.rng.uniform_unit_np or a generator seeded from derive_seed"
+    )
+    scope = "file"
+    kinds = ALL_KINDS
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        imports = _ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in imports.numpy_modules
+            ):
+                yield _violation(
+                    self, source, node,
+                    "numpy.random carries global/OS-seeded state; use "
+                    "repro.rng.uniform_unit_np or np.random.default_rng(seed) "
+                    "via an explicit derive_seed",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in imports.numpy_random_names
+            ):
+                yield _violation(
+                    self, source, node,
+                    "numpy.random carries global/OS-seeded state; seed an "
+                    "explicit generator from derive_seed instead",
+                )
+
+
+@register_rule
+class WallClockRule:
+    """D104: wall-clock reads in library code."""
+
+    rule_id = "D104"
+    name = "wall-clock"
+    description = (
+        "time.time()/datetime.now() make results depend on when the code "
+        "runs; thread simulated time through parameters instead"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        imports = _ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.time_modules
+                and func.attr in _WALL_CLOCK_TIME_FNS
+            ):
+                yield _violation(
+                    self, source, node,
+                    f"time.{func.attr}() reads the wall clock; pass "
+                    "simulated timestamps explicitly",
+                )
+            elif isinstance(func, ast.Name) and func.id in imports.time_fn_aliases:
+                yield _violation(
+                    self, source, node,
+                    f"{func.id}() (time.{imports.time_fn_aliases[func.id]}) "
+                    "reads the wall clock; pass simulated timestamps "
+                    "explicitly",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WALL_CLOCK_DATETIME_FNS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in imports.datetime_classes
+            ):
+                yield _violation(
+                    self, source, node,
+                    f"datetime.{func.attr}() reads the wall clock; pass "
+                    "simulated timestamps explicitly",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WALL_CLOCK_DATETIME_FNS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in ("datetime", "date")
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in imports.datetime_modules
+            ):
+                yield _violation(
+                    self, source, node,
+                    f"datetime.{func.value.attr}.{func.attr}() reads the "
+                    "wall clock; pass simulated timestamps explicitly",
+                )
+
+
+@register_rule
+class OsEntropyRule:
+    """D105: OS entropy sources in library code."""
+
+    rule_id = "D105"
+    name = "os-entropy"
+    description = (
+        "os.urandom/uuid4/secrets pull OS entropy, which can never be "
+        "replayed; derive identifiers from seeds"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        imports = _ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            message = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+            ):
+                owner = func.value.id
+                if owner in imports.os_modules and func.attr == "urandom":
+                    message = "os.urandom() is OS entropy"
+                elif owner in imports.uuid_modules and func.attr in ("uuid1", "uuid4"):
+                    message = f"uuid.{func.attr}() is OS entropy"
+                elif owner in imports.secrets_names:
+                    message = f"secrets.{func.attr}() is OS entropy"
+            elif isinstance(func, ast.Name):
+                if func.id in imports.urandom_aliases:
+                    message = f"{func.id}() (os.urandom) is OS entropy"
+                elif func.id in imports.uuid_fn_aliases:
+                    message = f"{func.id}() is OS entropy"
+            if message is not None:
+                yield _violation(
+                    self, source, node,
+                    message + "; derive values from explicit seeds instead",
+                )
+
+
+@register_rule
+class BuiltinHashRule:
+    """D106: ``hash()`` outside ``__hash__`` in library code."""
+
+    rule_id = "D106"
+    name = "builtin-hash"
+    description = (
+        "builtin hash() is salted per-process for str/bytes "
+        "(PYTHONHASHSEED); use repro.rng.mix64 or hashlib for stable "
+        "values.  Allowed only inside __hash__ implementations."
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        for violation_node in self._find(source.tree, inside_hash=False):
+            yield _violation(
+                self, source, violation_node,
+                "hash() is process-salted for strings; use repro.rng.mix64 "
+                "or hashlib.blake2b for stable draws",
+            )
+
+    def _find(self, node: ast.AST, inside_hash: bool):
+        for child in ast.iter_child_nodes(node):
+            child_inside = inside_hash
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_inside = child.name == "__hash__"
+            if (
+                not child_inside
+                and isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "hash"
+            ):
+                yield child
+            yield from self._find(child, child_inside)
+
+
+class _SetTypes:
+    """Flow-insensitive local inference of set-typed names in one scope."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.set_names: Set[str] = set()
+        self.dict_of_set_names: Set[str] = set()
+        self._collect_params(scope)
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._record(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                self._record_annotation(node.target, node.annotation)
+                if node.value is not None:
+                    self._record(node.target, node.value)
+
+    def _collect_params(self, scope: ast.AST) -> None:
+        args = getattr(scope, "args", None)
+        if args is None:
+            return
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is not None:
+                self._record_annotation(ast.Name(id=arg.arg), arg.annotation)
+
+    def _record(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if self.is_set_expr(value):
+            self.set_names.add(target.id)
+        elif self._is_dict_of_set_value(value):
+            self.dict_of_set_names.add(target.id)
+
+    def _record_annotation(self, target: ast.AST, annotation: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        label = _annotation_head(annotation)
+        if label in ("set", "Set", "FrozenSet", "frozenset", "AbstractSet", "MutableSet"):
+            self.set_names.add(target.id)
+        elif label in ("dict", "Dict", "Mapping", "MutableMapping", "DefaultDict"):
+            if isinstance(annotation, ast.Subscript):
+                value_annotation = annotation.slice
+                if isinstance(value_annotation, ast.Tuple) and value_annotation.elts:
+                    inner = _annotation_head(value_annotation.elts[-1])
+                    if inner in ("set", "Set", "FrozenSet", "frozenset"):
+                        self.dict_of_set_names.add(target.id)
+
+    def _is_dict_of_set_value(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.DictComp):
+            return self.is_set_expr(value.value)
+        if isinstance(value, ast.Dict) and value.values:
+            return all(self.is_set_expr(entry) for entry in value.values)
+        return False
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS_RETURNING_SET
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.dict_of_set_names
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Subscript):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.dict_of_set_names
+            )
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _annotation_head(annotation: ast.AST) -> Optional[str]:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[")[0].strip()
+        return head.split(".")[-1] if head else None
+    return None
+
+
+def _walk_scope(scope: ast.AST):
+    """Walk a function/module body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scopes(tree: ast.Module):
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register_rule
+class SetIterationOrderRule:
+    """D107: set iteration order escaping into ordered output."""
+
+    rule_id = "D107"
+    name = "set-order-leak"
+    description = (
+        "iterating a set into a yield/return/list leaks unordered "
+        "iteration order into results; sort first (or keep an ordered "
+        "structure)"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        parents = _parent_map(source.tree)
+        for scope in _scopes(source.tree):
+            types = _SetTypes(scope)
+            for node in _walk_scope(scope):
+                if isinstance(node, ast.For) and types.is_set_expr(node.iter):
+                    leak = _loop_order_leak(node)
+                    if leak is not None:
+                        yield _violation(
+                            self, source, node,
+                            f"for-loop over a set {leak}; iterate "
+                            "sorted(...) instead",
+                        )
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    if any(
+                        types.is_set_expr(gen.iter) for gen in node.generators
+                    ) and not _order_neutral_context(node, parents):
+                        yield _violation(
+                            self, source, node,
+                            "comprehension materialises set iteration order; "
+                            "wrap the set in sorted(...)",
+                        )
+
+    # (list(...)/tuple(...) over a bare set is covered by the
+    # comprehension-free case below)
+
+
+@register_rule
+class SetPopRule:
+    """D108: ``set.pop()`` removes an arbitrary element."""
+
+    rule_id = "D108"
+    name = "set-pop"
+    description = (
+        "set.pop() removes an arbitrary (hash-order) element; pop from a "
+        "sorted list or use an explicit ordering"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        for scope in _scopes(source.tree):
+            types = _SetTypes(scope)
+            for node in _walk_scope(scope):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and not node.args
+                    and not node.keywords
+                    and types.is_set_expr(node.func.value)
+                ):
+                    yield _violation(
+                        self, source, node,
+                        "set.pop() removes an arbitrary element; order the "
+                        "elements explicitly first",
+                    )
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _order_neutral_context(node: ast.AST, parents: Dict[int, ast.AST]) -> bool:
+    """True when a comprehension's order cannot be observed.
+
+    Direct argument to sorted()/min()/sum()/set()/... — anything that
+    either re-orders or collapses the sequence.
+    """
+    parent = parents.get(id(node))
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in _ORDER_NEUTRAL_WRAPPERS
+        and any(argument is node for argument in parent.args)
+    )
+
+
+def _loop_order_leak(loop: ast.For) -> Optional[str]:
+    """How (if at all) a for-loop over a set leaks its order."""
+    for node in _walk_statements(loop.body + loop.orelse):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return "reaches a yield"
+        if isinstance(node, ast.Return) and node.value is not None:
+            return "reaches a return"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SEQUENCE_LEAK_METHODS
+        ):
+            return f"feeds .{node.func.attr}() on an ordered container"
+    return None
+
+
+def _walk_statements(body: Sequence[ast.stmt]):
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

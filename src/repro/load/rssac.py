@@ -1,0 +1,60 @@
+"""Building RSSAC-002-style reports from logs and routing.
+
+The report value types (:class:`~repro.traffic.rssac.Rssac002Report`,
+:class:`~repro.traffic.rssac.SiteTrafficReport`) live in
+:mod:`repro.traffic.rssac`; this module owns the aggregation, which
+needs the load estimator and therefore sits in the ``load`` layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bgp.propagation import RoutingOutcome
+from repro.load.estimator import LoadEstimate
+from repro.load.prediction import measured_site_load
+from repro.traffic.logs import DayLoad, LoadKind
+from repro.traffic.rssac import Rssac002Report, SiteTrafficReport
+
+
+def build_rssac_report(
+    service_name: str,
+    load: DayLoad,
+    routing: RoutingOutcome,
+) -> Rssac002Report:
+    """Aggregate one day of logs into the per-site report.
+
+    Queries and responses are split by the ground-truth catchment of
+    each source block (the operator's own logs know where every query
+    landed); ``unique_sources`` counts /24 blocks, the aggregation
+    level of this whole reproduction.
+    """
+    queries = LoadEstimate(load, LoadKind.QUERIES)
+    responses = LoadEstimate(load, LoadKind.ALL_REPLIES)
+    per_site_queries = measured_site_load(routing, queries)
+    per_site_responses = measured_site_load(routing, responses)
+    site_codes = routing.policy.site_codes
+
+    sources_by_site: Dict[str, int] = {code: 0 for code in site_codes}
+    for block in load.blocks:
+        site = routing.site_of_block(int(block))
+        if site is not None:
+            sources_by_site[site] += 1
+
+    sites = [
+        SiteTrafficReport(
+            site_code=code,
+            queries=per_site_queries.daily_of(code),
+            responses=per_site_responses.daily_of(code),
+            unique_sources=sources_by_site[code],
+        )
+        for code in site_codes
+    ]
+    return Rssac002Report(
+        service_name=service_name,
+        date_label=load.date_label,
+        total_queries=queries.total(),
+        total_responses=responses.total(),
+        unique_sources=len(load),
+        sites=sites,
+    )

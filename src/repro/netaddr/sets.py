@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+from repro.errors import PrefixLookupError
 from repro.netaddr.prefix import Prefix
 from repro.netaddr.trie import LongestPrefixTrie
 
@@ -45,11 +46,12 @@ class PrefixSet:
     def covering_prefix(self, address: int) -> Prefix:
         """Return the longest member prefix containing ``address``.
 
-        Raises KeyError if no member covers the address.
+        Raises :class:`~repro.errors.PrefixLookupError` (a ``KeyError``)
+        if no member covers the address.
         """
         match = self._trie.lookup(address)
         if match is None:
-            raise KeyError(f"no prefix covers {address:#x}")
+            raise PrefixLookupError(f"no prefix covers {address:#x}")
         return match[0]
 
     def aggregated(self) -> "PrefixSet":

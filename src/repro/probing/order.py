@@ -13,9 +13,21 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import ConfigurationError
-from repro.rng import mix64
+from repro.rng import derive_seed, mix64
 
 _ROUNDS = 4
+
+
+def round_order_seed(parent_seed: int, round_id: int) -> int:
+    """Seed of the probe-order permutation for one scan round.
+
+    This is the *only* place the probe-order label is derived.  The
+    label is namespaced under ``probing.order/`` so no other subsystem
+    formatting its own ``{round_id}`` label can collide with it, and
+    both the scalar prober and the vectorized engine call this helper
+    so their permutations are bit-identical by construction.
+    """
+    return derive_seed(parent_seed, f"probing.order/round/{round_id}")
 
 
 class PseudorandomOrder:

@@ -13,8 +13,7 @@ from typing import Iterator, Tuple
 
 from repro.errors import ConfigurationError, MeasurementError
 from repro.probing.hitlist import Hitlist
-from repro.probing.order import PseudorandomOrder
-from repro.rng import derive_seed
+from repro.probing.order import PseudorandomOrder, round_order_seed
 
 
 @dataclass(frozen=True)
@@ -124,5 +123,16 @@ class Prober:
         Each round gets its own ICMP identifier (dataset separation) and
         its own probe order (derived from the prober seed and round id).
         """
-        order_seed = derive_seed(self._seed, f"probe-order-{round_id}")
-        return ProbeSchedule(self.hitlist, self.config, round_id, start_time, order_seed)
+        return ProbeSchedule(
+            self.hitlist, self.config, round_id, start_time,
+            self.order_seed(round_id),
+        )
+
+    def order_seed(self, round_id: int) -> int:
+        """Probe-order permutation seed for ``round_id``.
+
+        Exposed so alternative engines (the vectorized fast path) can
+        reproduce this prober's ordering bit-for-bit instead of
+        re-deriving a stream of their own.
+        """
+        return round_order_seed(self._seed, round_id)

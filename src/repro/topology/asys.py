@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro.errors import ConfigurationError
+
 
 class ASTier:
     """Coarse AS roles in the synthetic hierarchy."""
@@ -56,4 +58,4 @@ class AutonomousSystem:
 
     def __post_init__(self) -> None:
         if self.tier not in ASTier.ALL:
-            raise ValueError(f"unknown AS tier {self.tier!r}")
+            raise ConfigurationError(f"unknown AS tier {self.tier!r}")

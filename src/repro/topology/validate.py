@@ -11,10 +11,11 @@ hand-built topologies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Iterable, List, Optional, Tuple
 
 from repro.topology.asys import ASTier
 from repro.topology.internet import Internet
+from repro.topology.relationships import Relationship
 
 
 @dataclass
@@ -117,5 +118,118 @@ def validate_internet(internet: Internet) -> ValidationReport:
             f"{unlocated} blocks ({unlocated / len(internet.blocks):.1%}) "
             "have no geolocation"
         )
+
+    return report
+
+
+#: Sentinel ASN the propagator uses for the anycast service itself.
+_SERVICE_SENTINEL = 0
+
+
+def _valley_free_error(internet: Internet, as_path: Tuple[int, ...]) -> Optional[str]:
+    """Why ``as_path`` violates Gao-Rexford export rules, or None.
+
+    The path is stored receiver-first, service sentinel (0) last.
+    Read receiver-to-origin, each hop is the relationship of the
+    importer to the AS it heard the route from, so a valid path reads
+
+        provider* peer? customer*
+
+    (descend the provider chain backwards, cross at most one peering,
+    then climb down the customer chain backwards).  A "valley"
+    (customer hop followed by provider/peer, or a second peer hop)
+    means some AS exported a peer/provider route to a peer/provider,
+    which no rational operator does.
+    """
+    graph = internet.graph
+    # 0 = still in provider hops, 1 = peer hop seen, 2 = in customer hops.
+    stage = 0
+    for importer, exporter in zip(as_path, as_path[1:]):
+        if _SERVICE_SENTINEL in (importer, exporter) or importer == exporter:
+            continue  # service hop or origin prepending
+        if not graph.has_link(importer, exporter):
+            return f"hop AS{importer}<-AS{exporter} has no adjacency"
+        relation = graph.relationship(importer, exporter)
+        if relation == Relationship.PROVIDER:
+            if stage != 0:
+                return (
+                    f"valley at AS{importer}: provider hop after "
+                    f"{'peer' if stage == 1 else 'customer'} hop"
+                )
+        elif relation == Relationship.PEER:
+            if stage == 2:
+                return f"valley at AS{importer}: peer hop after customer hop"
+            if stage == 1:
+                return f"valley at AS{importer}: second peer hop"
+            stage = 1
+        elif relation == Relationship.CUSTOMER:
+            stage = 2
+    return None
+
+
+def validate_rib(
+    internet: Internet,
+    routing,
+    rib_entries: Optional[Iterable[Tuple["Prefix", int]]] = None,  # noqa: F821
+) -> ValidationReport:
+    """Check a computed routing outcome (and optional RIB dump) for sanity.
+
+    ``routing`` is duck-typed (any object with ``selections`` mapping
+    ASN -> selection and ``policy.site_codes``) so this layer-1 module
+    never imports the BGP layer above it.  Three invariant families:
+
+    * every selected best path is **valley-free** (Gao-Rexford: routes
+      learned from peers/providers are never re-exported upward);
+    * every selection points at a **declared site** of the policy and
+      belongs to a known AS;
+    * every RIB entry (``(prefix, origin)`` pairs, e.g. parsed from a
+      :mod:`repro.bgp.ribdump` table) matches a prefix actually in
+      ``internet.announced`` with the same origin AS.
+    """
+    report = ValidationReport()
+    site_codes = set(routing.policy.site_codes)
+
+    for asn in sorted(routing.selections):
+        selection = routing.selections[asn]
+        if selection is None:
+            continue
+        if asn not in internet.ases:
+            report.errors.append(f"selection for unknown AS{asn}")
+            continue
+        if selection.primary_site not in site_codes:
+            report.errors.append(
+                f"AS{asn} selected undeclared site {selection.primary_site!r}"
+            )
+        if selection.as_path:
+            if selection.as_path[0] != asn:
+                report.errors.append(
+                    f"AS{asn} path does not start with itself: "
+                    f"{selection.as_path}"
+                )
+            if selection.as_path[-1] != _SERVICE_SENTINEL:
+                report.errors.append(
+                    f"AS{asn} path does not end at the service: "
+                    f"{selection.as_path}"
+                )
+            valley = _valley_free_error(internet, selection.as_path)
+            if valley is not None:
+                report.errors.append(
+                    f"AS{asn} best path {selection.as_path} is not "
+                    f"valley-free: {valley}"
+                )
+
+    if rib_entries is not None:
+        announced = {entry.prefix: entry.origin_asn for entry in internet.announced}
+        for prefix, origin in rib_entries:
+            expected = announced.get(prefix)
+            if expected is None:
+                report.errors.append(
+                    f"RIB prefix {prefix} is not announced by the topology"
+                )
+            elif expected != origin:
+                report.errors.append(
+                    f"RIB prefix {prefix} originated by AS{origin}, "
+                    f"topology announces it from AS{expected}"
+                )
 
     return report

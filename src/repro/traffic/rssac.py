@@ -3,21 +3,20 @@
 Root operators publish standardised daily measurements (RSSAC-002);
 the paper leans on this: "all root operators collect this information
 as part of standard RSSAC-002 performance reporting" (§3.2).  This
-module produces the subset of that report the reproduction needs:
-per-site daily query/response volumes and the unique-sources count,
-rendered as the traditional YAML-ish document.
+module holds the report *value types* and renderer the reproduction
+needs: per-site daily query/response volumes and the unique-sources
+count, rendered as the traditional YAML-ish document.  The aggregation
+that builds a report from logs and routing lives in
+:func:`repro.load.rssac.build_rssac_report` — it needs the load
+estimator, which sits a layer above this package.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, TextIO
+from typing import List, TextIO
 
-from repro.bgp.propagation import RoutingOutcome
 from repro.errors import DatasetError
-from repro.load.estimator import LoadEstimate
-from repro.load.prediction import measured_site_load
-from repro.traffic.logs import DayLoad, LoadKind
 
 
 @dataclass(frozen=True)
@@ -63,46 +62,3 @@ class Rssac002Report:
             stream.write(f"    queries: {entry.queries:.0f}\n")
             stream.write(f"    responses: {entry.responses:.0f}\n")
             stream.write(f"    unique-sources: {entry.unique_sources}\n")
-
-
-def build_rssac_report(
-    service_name: str,
-    load: DayLoad,
-    routing: RoutingOutcome,
-) -> Rssac002Report:
-    """Aggregate one day of logs into the per-site report.
-
-    Queries and responses are split by the ground-truth catchment of
-    each source block (the operator's own logs know where every query
-    landed); ``unique_sources`` counts /24 blocks, the aggregation
-    level of this whole reproduction.
-    """
-    queries = LoadEstimate(load, LoadKind.QUERIES)
-    responses = LoadEstimate(load, LoadKind.ALL_REPLIES)
-    per_site_queries = measured_site_load(routing, queries)
-    per_site_responses = measured_site_load(routing, responses)
-    site_codes = routing.policy.site_codes
-
-    sources_by_site: Dict[str, int] = {code: 0 for code in site_codes}
-    for block in load.blocks:
-        site = routing.site_of_block(int(block))
-        if site is not None:
-            sources_by_site[site] += 1
-
-    sites = [
-        SiteTrafficReport(
-            site_code=code,
-            queries=per_site_queries.daily_of(code),
-            responses=per_site_responses.daily_of(code),
-            unique_sources=sources_by_site[code],
-        )
-        for code in site_codes
-    ]
-    return Rssac002Report(
-        service_name=service_name,
-        date_label=load.date_label,
-        total_queries=queries.total(),
-        total_responses=responses.total(),
-        unique_sources=len(load),
-        sites=sites,
-    )

@@ -1,0 +1,35 @@
+"""Fixture: clean library code — zero findings expected.
+
+Also demonstrates every sanctioned pattern: derived RNG streams,
+sorted set iteration, repro.errors raises, and an explicit per-line
+suppression of an intentional global-random call.
+"""
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_rng
+
+
+def shuffled(items, seed: int):
+    rng = derive_rng(seed, "clean-fixture/shuffle")
+    ordered = sorted(items)
+    rng.shuffle(ordered)
+    return ordered
+
+
+def totals(groups):
+    out = []
+    for name in sorted(groups):
+        out.append((name, len(groups[name])))
+    return out
+
+
+def check_positive(value: int) -> int:
+    if value <= 0:
+        raise ConfigurationError("value must be positive")
+    return value
+
+
+def legacy_jitter() -> float:
+    return random.random()  # reprolint: disable=D101

@@ -1,0 +1,7 @@
+"""Fixture: D101 — call into the global random module."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # MARK

@@ -1,0 +1,7 @@
+"""Fixture: D102 — random.Random() without a seed."""
+
+import random
+
+
+def make_rng():
+    return random.Random()  # MARK

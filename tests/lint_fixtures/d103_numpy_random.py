@@ -1,0 +1,7 @@
+"""Fixture: D103 — numpy's global random state."""
+
+import numpy as np
+
+
+def draw(n: int):
+    return np.random.rand(n)  # MARK

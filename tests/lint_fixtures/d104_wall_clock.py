@@ -1,0 +1,7 @@
+"""Fixture: D104 — wall-clock read in library code."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # MARK

@@ -1,0 +1,7 @@
+"""Fixture: D105 — OS entropy in library code."""
+
+import os
+
+
+def token() -> bytes:
+    return os.urandom(8)  # MARK

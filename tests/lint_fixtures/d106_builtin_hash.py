@@ -1,0 +1,13 @@
+"""Fixture: D106 — builtin hash() outside __hash__."""
+
+
+class Key:
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __hash__(self) -> int:
+        return hash(self.label)  # allowed: inside __hash__
+
+
+def bucket_of(label: str, buckets: int) -> int:
+    return hash(label) % buckets  # MARK

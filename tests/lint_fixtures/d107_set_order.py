@@ -1,0 +1,11 @@
+"""Fixture: D107 — set iteration order leaking into a list."""
+
+from typing import List
+
+
+def neighbors_of(edges) -> List[int]:
+    seen = {b for _, b in edges}
+    result: List[int] = []
+    for node in seen:  # MARK
+        result.append(node)
+    return result

@@ -1,0 +1,9 @@
+"""Fixture: D108 — set.pop() removes an arbitrary element."""
+
+
+def drain(items) -> int:
+    pending = set(items)
+    total = 0
+    while pending:
+        total += pending.pop()  # MARK
+    return total

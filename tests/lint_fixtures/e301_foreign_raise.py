@@ -1,0 +1,7 @@
+"""Fixture: E301 — raising outside the repro.errors hierarchy."""
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise RuntimeError(f"no such key {key!r}")  # MARK
+    return mapping[key]

@@ -1,0 +1,8 @@
+"""Fixture: E302 — swallowing Exception without re-raise."""
+
+
+def safe_int(text: str) -> int:
+    try:
+        return int(text)
+    except Exception:  # MARK
+        return 0

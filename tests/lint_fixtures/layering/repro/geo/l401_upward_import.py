@@ -1,0 +1,7 @@
+"""Fixture: L401 — a layer-1 package importing from layer 4."""
+
+from repro.core.verfploeter import Verfploeter  # MARK
+
+
+def measure(verfploeter: Verfploeter):
+    return verfploeter.run_scan()

@@ -1,0 +1,3 @@
+"""Fixture: L402 — a repro subpackage missing from the layer DAG."""
+
+WHO_AM_I = "not in repro.lint.layers.LAYERS"  # MARK (reported at line 1)

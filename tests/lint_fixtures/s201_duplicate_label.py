@@ -1,0 +1,11 @@
+"""Fixture: S201 — the same seed label derived at two call sites."""
+
+from repro.rng import derive_seed
+
+
+def first_stream(seed: int) -> int:
+    return derive_seed(seed, "shared-label")  # MARK
+
+
+def second_stream(seed: int) -> int:
+    return derive_seed(seed, "shared-label")  # MARK2

@@ -1,0 +1,11 @@
+"""Fixture: S202 — a literal label an f-string label can expand to."""
+
+from repro.rng import derive_seed
+
+
+def per_round(seed: int, round_id: int) -> int:
+    return derive_seed(seed, f"round-{round_id}")
+
+
+def fixed(seed: int) -> int:
+    return derive_seed(seed, "round-7")  # MARK

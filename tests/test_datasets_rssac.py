@@ -10,7 +10,7 @@ from repro.core.experiments import prediction_decay_study
 from repro.datasets import read_scan, write_scan
 from repro.errors import DatasetError
 from repro.load.estimator import LoadEstimate
-from repro.traffic.rssac import build_rssac_report
+from repro.load.rssac import build_rssac_report
 
 
 class TestScanSerialisation:
