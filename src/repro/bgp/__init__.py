@@ -7,6 +7,14 @@ the per-packet load-balancing instability model behind the paper's
 catchment-flip observations (§6.3, Table 7).
 """
 
+from repro.bgp.cache import (
+    CacheStats,
+    RoutingCache,
+    default_routing_cache,
+    internet_fingerprint,
+    policy_fingerprint,
+)
+from repro.bgp.delta import DeltaPropagator, DeltaStats, delta_routes
 from repro.bgp.instability import FlipModel, FlipModelConfig
 from repro.bgp.policy import AnnouncementPolicy, SiteAnnouncement
 from repro.bgp.propagation import (
@@ -27,6 +35,14 @@ __all__ = [
     "RouteSelection",
     "RoutingOutcome",
     "compute_routes",
+    "DeltaPropagator",
+    "DeltaStats",
+    "delta_routes",
+    "RoutingCache",
+    "CacheStats",
+    "default_routing_cache",
+    "internet_fingerprint",
+    "policy_fingerprint",
     "FlipModel",
     "FlipModelConfig",
     "RoutingConfig",

@@ -1,0 +1,193 @@
+"""Content-addressed cache of routing outcomes.
+
+Sweeps and planning searches evaluate the same announcement policies
+repeatedly (benchmarks re-run configurations, stability series reuse
+one policy across 96 rounds, placement search revisits baselines).  A
+:class:`RoutingCache` keys fully-computed :class:`RoutingOutcome`
+objects by *content* — the internet's identity, the policy's complete
+announcement tuple, the :class:`RoutingConfig` and the flip model — so
+a repeated scenario is a dictionary hit rather than a propagation.
+
+On a miss the cache prefers an **incremental** compute: if any cached
+outcome shares the same internet object, config and flip model, it is
+used as a :class:`~repro.bgp.delta.DeltaPropagator` baseline and only
+the affected route selections are rebuilt.  Delta reuse requires object
+identity on the internet (``is``), not just an equal fingerprint: the
+delta engine splices baseline selection objects, which is only sound
+against the very topology they were built from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bgp.delta import DeltaPropagator
+from repro.bgp.instability import FlipModel
+from repro.bgp.policy import AnnouncementPolicy
+from repro.bgp.propagation import (
+    RoutingConfig,
+    RoutingOutcome,
+    compute_routes,
+)
+from repro.errors import ConfigurationError
+from repro.topology.internet import Internet
+
+
+def policy_fingerprint(policy: AnnouncementPolicy) -> tuple:
+    """Hashable identity of a policy's complete announcement set."""
+    return tuple(
+        (entry.site_code, entry.upstream_asn, entry.prepend, entry.no_export_to)
+        for entry in policy.announcements
+    )
+
+
+def internet_fingerprint(internet: Internet) -> tuple:
+    """Hashable identity of a generated topology.
+
+    Topologies are pure functions of their seed and size parameters,
+    so (seed, headline counts) identifies one; two distinct Internet
+    objects with equal fingerprints hold identical graphs.
+    """
+    summary = internet.summary()
+    return (
+        internet.seed,
+        summary["ases"],
+        summary["pops"],
+        summary["announced_prefixes"],
+        summary["blocks"],
+    )
+
+
+@dataclass
+class CacheStats:
+    """Where each lookup was served from."""
+
+    hits: int = 0
+    full_computes: int = 0
+    delta_computes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of get_or_compute calls."""
+        return self.hits + self.full_computes + self.delta_computes
+
+
+@dataclass
+class _Entry:
+    outcome: RoutingOutcome
+    config: RoutingConfig
+    flip_fingerprint: tuple = field(default_factory=tuple)
+
+
+class RoutingCache:
+    """LRU cache of routing outcomes with delta-based miss handling."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ConfigurationError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(
+        self,
+        internet: Internet,
+        policy: AnnouncementPolicy,
+        config: RoutingConfig,
+        flip_fingerprint: tuple,
+    ) -> tuple:
+        return (
+            internet_fingerprint(internet),
+            policy_fingerprint(policy),
+            config,
+            flip_fingerprint,
+        )
+
+    def _find_baseline(
+        self, internet: Internet, config: RoutingConfig, flip_fingerprint: tuple
+    ) -> Optional[RoutingOutcome]:
+        """Most recently used cached outcome usable as a delta baseline."""
+        for entry in reversed(self._entries.values()):
+            outcome = entry.outcome
+            if (
+                outcome.internet is internet
+                and outcome.state is not None
+                and entry.config == config
+                and entry.flip_fingerprint == flip_fingerprint
+            ):
+                return outcome
+        return None
+
+    def get_or_compute(
+        self,
+        internet: Internet,
+        policy: AnnouncementPolicy,
+        flip_model: Optional[FlipModel] = None,
+        config: Optional[RoutingConfig] = None,
+    ) -> RoutingOutcome:
+        """The outcome for (internet, policy, config, flip model).
+
+        Hit: the cached outcome, LRU-refreshed.  Miss with a usable
+        baseline: delta propagation.  Cold miss: full propagation.
+        Results are bit-identical across all three paths, so callers
+        never need to know which one served them.
+        """
+        resolved_config = config or RoutingConfig()
+        resolved_flip = flip_model or FlipModel(internet.seed)
+        flip_fp = resolved_flip.fingerprint()
+        key = self._key(internet, policy, resolved_config, flip_fp)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.outcome
+            baseline = self._find_baseline(internet, resolved_config, flip_fp)
+        # Propagation runs outside the lock: concurrent misses for the
+        # same key both compute, but results are deterministic and
+        # identical, so whichever insert wins is indistinguishable.
+        if baseline is not None:
+            outcome = DeltaPropagator(baseline).propagate(policy)
+            with self._lock:
+                self.stats.delta_computes += 1
+        else:
+            outcome = compute_routes(
+                internet, policy, flip_model=resolved_flip, config=resolved_config
+            )
+            with self._lock:
+                self.stats.full_computes += 1
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = _Entry(outcome, resolved_config, flip_fp)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            else:
+                self._entries.move_to_end(key)
+            return self._entries[key].outcome
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+_default_cache: Optional[RoutingCache] = None
+_default_cache_lock = threading.Lock()
+
+
+def default_routing_cache() -> RoutingCache:
+    """Process-wide cache shared by experiment drivers (small LRU)."""
+    global _default_cache
+    with _default_cache_lock:
+        if _default_cache is None:
+            _default_cache = RoutingCache(maxsize=16)
+        return _default_cache

@@ -59,6 +59,19 @@ class FlipModel:
         self._seed = seed
         self.config = config or FlipModelConfig()
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity of this model's decisions (for cache keys).
+
+        Two models with equal fingerprints return identical flip
+        decisions for every (block, round) pair.
+        """
+        return (
+            self._seed,
+            self.config.flipper_block_fraction,
+            self.config.flipper_flip_probability,
+            self.config.background_flip_probability,
+        )
+
     def participates(self, asys: AutonomousSystem, block: int) -> bool:
         """Whether ``block`` of flipper ``asys`` sits on a load-balanced path."""
         if not asys.flipper:

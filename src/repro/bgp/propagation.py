@@ -34,7 +34,7 @@ Three realism knobs (see :class:`RoutingConfig`):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.anycast.catchment import CatchmentMap
@@ -188,6 +188,65 @@ def _tie_hash(asn: int, neighbor: int, site_code: str) -> int:
     return mix64(mix64(asn * 0x9E37 + neighbor) ^ site_hash)
 
 
+def _alternate_for(
+    internet: Internet, site_codes: List[str], selection: RouteSelection
+) -> Optional[str]:
+    """The alternate site a selection would be assigned (see _assign_alternates).
+
+    A pure function of the selection's own routes, the announcing site
+    list, and the AS's flipper flag — shared by the full propagator and
+    the delta engine so both assign identical alternates.
+    """
+    pool = [
+        site
+        for site in (*selection.pop_sites, *selection.candidate_sites)
+        if site != selection.primary_site
+    ]
+    if pool:
+        return pool[0]
+    if len(site_codes) > 1 and internet.ases[selection.asn].flipper:
+        # Per-packet load balancing across unequal paths: a flipper
+        # with one equal-cost route still oscillates toward a
+        # deterministic next-best site.
+        others = [s for s in site_codes if s != selection.primary_site]
+        return others[mix64(selection.asn * 0xA5A5) % len(others)]
+    return None
+
+
+@dataclass
+class _SharedCaches:
+    """Memo tables for the pure per-pair draws of one (seed, config).
+
+    Edge costs, pin decisions, tie hashes and importer hashes are pure
+    functions of the topology seed, the routing config and the AS pair,
+    so a baseline's tables stay valid for every delta recomputation
+    under the same config — sharing them is what makes rebuilding a
+    selection much cheaper than building it from scratch.
+    """
+
+    edge: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    pins: Dict[Tuple[int, int], bool] = field(default_factory=dict)
+    ties: Dict[Tuple[int, int, str], int] = field(default_factory=dict)
+    import_hash: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+@dataclass
+class _PropagationState:
+    """Working maps retained from one propagation for incremental reuse.
+
+    A :class:`~repro.bgp.delta.DeltaPropagator` diffs these against a
+    re-derived skeleton to decide which route selections can possibly
+    have changed; everything else is spliced through unchanged.
+    """
+
+    config: RoutingConfig
+    cust_dist: Dict[int, int]
+    provider_dist: Dict[int, int]
+    export_len: Dict[int, int]
+    origin_entries: Dict[int, List[CandidateRoute]]
+    caches: _SharedCaches
+
+
 class RoutingOutcome:
     """Result of one propagation: per-AS selections and catchment queries."""
 
@@ -197,12 +256,17 @@ class RoutingOutcome:
         policy: AnnouncementPolicy,
         selections: Dict[int, RouteSelection],
         flip_model: FlipModel,
+        state: Optional[_PropagationState] = None,
     ) -> None:
         self.internet = internet
         self.policy = policy
         self.selections = selections
         self.flip_model = flip_model
+        #: Propagation working maps, kept so DeltaPropagator can use
+        #: this outcome as the baseline of an incremental recomputation.
+        self.state = state
         self._pop_site_cache: Dict[int, str] = {}
+        self._catchment_cache: Dict[Optional[int], CatchmentMap] = {}
 
     def selection_of(self, asn: int) -> Optional[RouteSelection]:
         """The selected route at ``asn`` (None if the prefix never reached it)."""
@@ -245,13 +309,24 @@ class RoutingOutcome:
         return self.flip_model.site_for(asys, selection, base_site, block, round_id)
 
     def catchment_map(self, round_id: Optional[int] = None) -> CatchmentMap:
-        """Catchment of every populated block (site per block)."""
+        """Catchment of every populated block (site per block).
+
+        Memoised per ``round_id``: the outcome is immutable once built,
+        so the block->site dict is derived at most once per round and
+        repeated calls return the same :class:`CatchmentMap` instance
+        (which has no mutators).
+        """
+        cached = self._catchment_cache.get(round_id)
+        if cached is not None:
+            return cached
         mapping: Dict[int, str] = {}
         for block in self.internet.blocks:
             site = self.site_of_block(block, round_id)
             if site is not None:
                 mapping[block] = site
-        return CatchmentMap(self.policy.site_codes, mapping)
+        result = CatchmentMap(self.policy.site_codes, mapping)
+        self._catchment_cache[round_id] = result
+        return result
 
     def reachable_fraction(self) -> float:
         """Fraction of ASes that received any route (sanity metric)."""
@@ -268,6 +343,7 @@ class _Propagator:
         internet: Internet,
         policy: AnnouncementPolicy,
         config: RoutingConfig,
+        caches: Optional[_SharedCaches] = None,
     ) -> None:
         self.internet = internet
         self.policy = policy
@@ -275,17 +351,44 @@ class _Propagator:
         self.graph = internet.graph
         self.seed = internet.seed
         self.selections: Dict[int, RouteSelection] = {}
-        self._edge_cache: Dict[Tuple[int, int], int] = {}
+        # Per-pair draws are pure in (seed, config, pair), so a
+        # baseline's caches can be shared with delta recomputations.
+        self._caches = caches if caches is not None else _SharedCaches()
+        self._origin_entries: Dict[int, List[CandidateRoute]] = {}
+        self._state: Optional[_PropagationState] = None
 
     def edge_cost(self, importer: int, exporter: int) -> int:
         """Cached shared edge cost (see module-level :func:`edge_cost`)."""
         key = (importer, exporter)
-        cached = self._edge_cache.get(key)
+        cached = self._caches.edge.get(key)
         if cached is not None:
             return cached
         cost = edge_cost(self.seed, self.config, importer, exporter)
-        self._edge_cache[key] = cost
+        self._caches.edge[key] = cost
         return cost
+
+    def tie_hash(self, asn: int, neighbor: int, site_code: str) -> int:
+        """Cached tie-break hash (see module-level :func:`_tie_hash`)."""
+        key = (asn, neighbor, site_code)
+        cached = self._caches.ties.get(key)
+        if cached is None:
+            cached = _tie_hash(asn, neighbor, site_code)
+            self._caches.ties[key] = cached
+        return cached
+
+    def import_site(self, selection: RouteSelection, importer: int) -> str:
+        """``selection.site_for_importer`` with the hash draw cached.
+
+        The hash depends only on the (exporter, importer) pair, so it is
+        shareable even when the exporter's selection changes between
+        baseline and delta.
+        """
+        key = (selection.asn, importer)
+        cached = self._caches.import_hash.get(key)
+        if cached is None:
+            cached = mix64(selection.asn * 0x9E3779B1 ^ importer * 0x85EBCA6B)
+            self._caches.import_hash[key] = cached
+        return selection._weighted_pick(cached)
 
     def slack_for(self, asn: int) -> int:
         """Near-candidate slack for ``asn``.
@@ -301,8 +404,13 @@ class _Propagator:
         return base
 
     def is_pinned(self, customer: int, provider: int) -> bool:
-        """Shared pin draw (see module-level :func:`is_pinned`)."""
-        return is_pinned(self.seed, self.config, customer, provider)
+        """Cached shared pin draw (see module-level :func:`is_pinned`)."""
+        key = (customer, provider)
+        cached = self._caches.pins.get(key)
+        if cached is None:
+            cached = is_pinned(self.seed, self.config, customer, provider)
+            self._caches.pins[key] = cached
+        return cached
 
     # -- phases ------------------------------------------------------------
 
@@ -310,15 +418,24 @@ class _Propagator:
         cust_dist = self._phase_up()
         self._resolve_customer(cust_dist)
         self._phase_peers(cust_dist)
-        self._phase_down()
+        provider_dist, export_len = self._compute_provider_dist()
+        self._resolve_provider(provider_dist, export_len)
         self._assign_alternates()
+        self._state = _PropagationState(
+            config=self.config,
+            cust_dist=cust_dist,
+            provider_dist=provider_dist,
+            export_len=export_len,
+            origin_entries=self._origin_entries,
+            caches=self._caches,
+        )
         return self.selections
 
     def _phase_up(self) -> Dict[int, int]:
         """Dijkstra of customer-learned routes up the provider DAG."""
         cust_dist: Dict[int, int] = {}
         heap: List[Tuple[int, int]] = []
-        self._origin_entries: Dict[int, List[CandidateRoute]] = {}
+        self._origin_entries = {}
         for announcement in self.policy.announcements:
             upstream = announcement.upstream_asn
             if upstream not in self.internet.ases:
@@ -349,95 +466,121 @@ class _Propagator:
     def _resolve_customer(self, cust_dist: Dict[int, int]) -> None:
         """Pick primaries for customer-route holders in distance order."""
         for asn in sorted(cust_dist, key=lambda a: (cust_dist[a], a)):
-            slack = self.slack_for(asn)
-            best = cust_dist[asn]
-            exact: List[CandidateRoute] = []
-            near: Dict[str, int] = {}
-            for entry in self._origin_entries.get(asn, []):
-                if entry.path_length == best:
-                    exact.append(entry)
-                delta = entry.path_length - best
-                if delta <= slack:
-                    near[entry.site_code] = min(near.get(entry.site_code, 99), delta)
-            for customer in self.graph.customers_of(asn):
-                customer_dist = cust_dist.get(customer)
-                if customer_dist is None:
-                    continue
-                arrival = customer_dist + self.edge_cost(asn, customer)
-                neighbor_selection = self.selections.get(customer)
-                if neighbor_selection is None:
-                    continue
-                via_site = neighbor_selection.site_for_importer(asn)
-                if arrival == best:
-                    exact.append(
-                        CandidateRoute(
-                            customer, via_site, arrival, RouteClass.CUSTOMER
-                        )
+            self.selections[asn] = self._customer_selection(asn, cust_dist)
+
+    def _customer_selection(
+        self, asn: int, cust_dist: Dict[int, int]
+    ) -> RouteSelection:
+        """Build one customer-class selection.
+
+        Reads only earlier-resolved customers from ``self.selections``
+        (processing order is ascending (distance, asn), and customer
+        arrivals always exceed the customer's own distance), which is
+        what lets the delta engine re-run single ASes in place.
+        """
+        slack = self.slack_for(asn)
+        best = cust_dist[asn]
+        exact: List[CandidateRoute] = []
+        near: Dict[str, int] = {}
+        for entry in self._origin_entries.get(asn, []):
+            if entry.path_length == best:
+                exact.append(entry)
+            delta = entry.path_length - best
+            if delta <= slack:
+                near[entry.site_code] = min(near.get(entry.site_code, 99), delta)
+        for customer in self.graph.customers_of(asn):
+            customer_dist = cust_dist.get(customer)
+            if customer_dist is None:
+                continue
+            arrival = customer_dist + self.edge_cost(asn, customer)
+            neighbor_selection = self.selections.get(customer)
+            if neighbor_selection is None:
+                continue
+            via_site = self.import_site(neighbor_selection, asn)
+            if arrival == best:
+                exact.append(
+                    CandidateRoute(
+                        customer, via_site, arrival, RouteClass.CUSTOMER
                     )
-                delta = arrival - best
-                if delta <= slack:
-                    near[via_site] = min(near.get(via_site, 99), delta)
-            if not exact:
-                raise RoutingError(f"AS{asn}: customer distance with no candidates")
-            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
-            if primary.neighbor_asn == _SERVICE_NEIGHBOR:
-                as_path = (asn,) + (_SERVICE_NEIGHBOR,) * primary.path_length
-            else:
-                as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
-            self.selections[asn] = RouteSelection(
-                asn, RouteClass.CUSTOMER, best, primary.site_code,
-                tuple(exact), _near_tuple(near), as_path=as_path,
-            )
+                )
+            delta = arrival - best
+            if delta <= slack:
+                near[via_site] = min(near.get(via_site, 99), delta)
+        if not exact:
+            raise RoutingError(f"AS{asn}: customer distance with no candidates")
+        primary = min(
+            exact, key=lambda c: self.tie_hash(asn, c.neighbor_asn, c.site_code)
+        )
+        if primary.neighbor_asn == _SERVICE_NEIGHBOR:
+            as_path = (asn,) + (_SERVICE_NEIGHBOR,) * primary.path_length
+        else:
+            as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+        return RouteSelection(
+            asn, RouteClass.CUSTOMER, best, primary.site_code,
+            tuple(exact), _near_tuple(near), as_path=as_path,
+        )
 
     def _phase_peers(self, cust_dist: Dict[int, int]) -> None:
         """ASes without customer routes import their peers' customer routes."""
         for asn in self.internet.ases:
             if asn in self.selections:
                 continue
-            slack = self.slack_for(asn)
-            best = _INF
-            offers: List[Tuple[int, CandidateRoute]] = []
-            for peer in self.graph.peers_of(asn):
-                peer_cust = cust_dist.get(peer)
-                if peer_cust is None:
-                    continue
-                arrival = peer_cust + self.edge_cost(asn, peer)
-                offers.append(
-                    (
-                        arrival,
-                        CandidateRoute(
-                            peer,
-                            self.selections[peer].site_for_importer(asn),
-                            arrival,
-                            RouteClass.PEER,
-                        ),
-                    )
-                )
-                best = min(best, arrival)
-            if not offers:
+            selection = self._peer_selection(asn, cust_dist)
+            if selection is not None:
+                self.selections[asn] = selection
+
+    def _peer_selection(
+        self, asn: int, cust_dist: Dict[int, int]
+    ) -> Optional[RouteSelection]:
+        """Build one peer-class selection (None when no peer has a route).
+
+        Reads only customer-route holders from ``self.selections``, so
+        peer selections are order-independent among themselves.
+        """
+        slack = self.slack_for(asn)
+        best = _INF
+        offers: List[Tuple[int, CandidateRoute]] = []
+        for peer in self.graph.peers_of(asn):
+            peer_cust = cust_dist.get(peer)
+            if peer_cust is None:
                 continue
-            exact = [route for arrival, route in offers if arrival == best]
-            near: Dict[str, int] = {}
-            for arrival, route in offers:
-                delta = arrival - best
-                if delta <= slack:
-                    near[route.site_code] = min(near.get(route.site_code, 99), delta)
-            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
-            as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
-            self.selections[asn] = RouteSelection(
-                asn, RouteClass.PEER, best, primary.site_code,
-                tuple(exact), _near_tuple(near), as_path=as_path,
+            arrival = peer_cust + self.edge_cost(asn, peer)
+            offers.append(
+                (
+                    arrival,
+                    CandidateRoute(
+                        peer,
+                        self.import_site(self.selections[peer], asn),
+                        arrival,
+                        RouteClass.PEER,
+                    ),
+                )
             )
+            best = min(best, arrival)
+        if not offers:
+            return None
+        exact = [route for arrival, route in offers if arrival == best]
+        near: Dict[str, int] = {}
+        for arrival, route in offers:
+            delta = arrival - best
+            if delta <= slack:
+                near[route.site_code] = min(near.get(route.site_code, 99), delta)
+        primary = min(
+            exact, key=lambda c: self.tie_hash(asn, c.neighbor_asn, c.site_code)
+        )
+        as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+        return RouteSelection(
+            asn, RouteClass.PEER, best, primary.site_code,
+            tuple(exact), _near_tuple(near), as_path=as_path,
+        )
 
-    def _phase_down(self) -> None:
-        """Best routes descend the provider->customer DAG (Dijkstra).
+    def _compute_provider_dist(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Dijkstra of best routes down the provider->customer DAG.
 
-        Pinned provider adjacencies beat unpinned ones regardless of
-        cost.  Export costs use the min-cost offer even when a pin makes
-        the AS *use* a longer route — a small, documented approximation
-        that keeps the descent a clean Dijkstra while preserving the
-        property that matters: each AS's customers inherit the site the
-        AS actually selected.
+        Returns ``(provider_dist, export_len)``: the provider-learned
+        distance of every AS without a customer/peer route, and the
+        per-AS export cost used for arrivals (path length for
+        customer/peer holders, descent distance below).
         """
         export_len: Dict[int, int] = {
             asn: selection.path_length for asn, selection in self.selections.items()
@@ -457,72 +600,88 @@ class _Propagator:
                     provider_dist[customer] = candidate
                     export_len[customer] = candidate
                     heapq.heappush(heap, (candidate, customer))
+        return provider_dist, export_len
 
+    def _resolve_provider(
+        self, provider_dist: Dict[int, int], export_len: Dict[int, int]
+    ) -> None:
+        """Pick primaries for provider-route holders in distance order.
+
+        Pinned provider adjacencies beat unpinned ones regardless of
+        cost.  Export costs use the min-cost offer even when a pin makes
+        the AS *use* a longer route — a small, documented approximation
+        that keeps the descent a clean Dijkstra while preserving the
+        property that matters: each AS's customers inherit the site the
+        AS actually selected.
+        """
         for asn in sorted(provider_dist, key=lambda a: (provider_dist[a], a)):
-            slack = self.slack_for(asn)
-            offers: List[Tuple[bool, int, CandidateRoute]] = []
-            for provider in self.graph.providers_of(asn):
-                provider_selection = self.selections.get(provider)
-                if provider_selection is None:
-                    # Provider has no route yet (resolves later in the
-                    # descent, so its offer cannot be the best anyway).
-                    continue
-                pinned = self.is_pinned(asn, provider)
-                arrival = export_len.get(provider, _INF) + self.edge_cost(asn, provider)
-                if arrival >= _INF:
-                    continue
-                offers.append(
-                    (
-                        pinned,
-                        arrival,
-                        CandidateRoute(
-                            provider,
-                            provider_selection.site_for_importer(asn),
-                            arrival,
-                            RouteClass.PROVIDER,
-                        ),
-                    )
-                )
-            if not offers:
-                raise RoutingError(f"AS{asn}: provider distance with no candidates")
-            has_pin = any(pinned for pinned, _, _ in offers)
-            if has_pin:
-                eligible = [(arrival, route) for pinned, arrival, route in offers if pinned]
-            else:
-                eligible = [(arrival, route) for _, arrival, route in offers]
-            best = min(arrival for arrival, _ in eligible)
-            exact = [route for arrival, route in eligible if arrival == best]
-            near: Dict[str, int] = {}
-            for arrival, route in eligible:
-                delta = arrival - best
-                if delta <= slack:
-                    near[route.site_code] = min(near.get(route.site_code, 99), delta)
-            primary = min(exact, key=lambda c: _tie_hash(asn, c.neighbor_asn, c.site_code))
-            as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
-            self.selections[asn] = RouteSelection(
-                asn, RouteClass.PROVIDER, best, primary.site_code,
-                tuple(exact), _near_tuple(near), pinned=has_pin, as_path=as_path,
+            self.selections[asn] = self._provider_selection(
+                asn, provider_dist, export_len
             )
+
+    def _provider_selection(
+        self, asn: int, provider_dist: Dict[int, int], export_len: Dict[int, int]
+    ) -> RouteSelection:
+        """Build one provider-class selection.
+
+        Reads only earlier-resolved providers (customer/peer holders or
+        ASes earlier in the ascending (distance, asn) descent order)
+        from ``self.selections``.
+        """
+        slack = self.slack_for(asn)
+        offers: List[Tuple[bool, int, CandidateRoute]] = []
+        for provider in self.graph.providers_of(asn):
+            provider_selection = self.selections.get(provider)
+            if provider_selection is None:
+                # Provider has no route yet (resolves later in the
+                # descent, so its offer cannot be the best anyway).
+                continue
+            pinned = self.is_pinned(asn, provider)
+            arrival = export_len.get(provider, _INF) + self.edge_cost(asn, provider)
+            if arrival >= _INF:
+                continue
+            offers.append(
+                (
+                    pinned,
+                    arrival,
+                    CandidateRoute(
+                        provider,
+                        self.import_site(provider_selection, asn),
+                        arrival,
+                        RouteClass.PROVIDER,
+                    ),
+                )
+            )
+        if not offers:
+            raise RoutingError(f"AS{asn}: provider distance with no candidates")
+        has_pin = any(pinned for pinned, _, _ in offers)
+        if has_pin:
+            eligible = [(arrival, route) for pinned, arrival, route in offers if pinned]
+        else:
+            eligible = [(arrival, route) for _, arrival, route in offers]
+        best = min(arrival for arrival, _ in eligible)
+        exact = [route for arrival, route in eligible if arrival == best]
+        near: Dict[str, int] = {}
+        for arrival, route in eligible:
+            delta = arrival - best
+            if delta <= slack:
+                near[route.site_code] = min(near.get(route.site_code, 99), delta)
+        primary = min(
+            exact, key=lambda c: self.tie_hash(asn, c.neighbor_asn, c.site_code)
+        )
+        as_path = (asn,) + self.selections[primary.neighbor_asn].as_path
+        return RouteSelection(
+            asn, RouteClass.PROVIDER, best, primary.site_code,
+            tuple(exact), _near_tuple(near), pinned=has_pin, as_path=as_path,
+        )
 
     def _assign_alternates(self) -> None:
         """Give every selection an alternate site for the flip model."""
         site_codes = self.policy.site_codes
         for selection in self.selections.values():
-            pool = [
-                site
-                for site in (*selection.pop_sites, *selection.candidate_sites)
-                if site != selection.primary_site
-            ]
-            if pool:
-                selection.alternate_site = pool[0]
-            elif len(site_codes) > 1 and self.internet.ases[selection.asn].flipper:
-                # Per-packet load balancing across unequal paths: a
-                # flipper with one equal-cost route still oscillates
-                # toward a deterministic next-best site.
-                others = [s for s in site_codes if s != selection.primary_site]
-                selection.alternate_site = others[
-                    mix64(selection.asn * 0xA5A5) % len(others)
-                ]
+            alternate = _alternate_for(self.internet, site_codes, selection)
+            if alternate is not None:
+                selection.alternate_site = alternate
 
 
 def compute_routes(
@@ -535,4 +694,6 @@ def compute_routes(
     propagator = _Propagator(internet, policy, config or RoutingConfig())
     selections = propagator.run()
     flip_model = flip_model or FlipModel(internet.seed)
-    return RoutingOutcome(internet, policy, selections, flip_model)
+    return RoutingOutcome(
+        internet, policy, selections, flip_model, state=propagator._state
+    )

@@ -15,7 +15,7 @@ Removes, in order:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.icmp.network import DeliveredReply
@@ -58,16 +58,22 @@ def clean_replies(
     probed_addresses: Set[int],
     round_identifier: int,
     round_start: float,
-    config: CleaningConfig = CleaningConfig(),
+    config: Optional[CleaningConfig] = None,
 ) -> CleaningResult:
     """Apply the paper's cleaning rules to a collected reply stream.
 
     Keeps the first reply per source address; a host that answered from
     the "wrong" address is removed as unsolicited even when its /24 was
     probed, exactly as address-keyed cleaning does in the paper.
+
+    A reply arriving *exactly* ``late_cutoff_seconds`` after round start
+    is kept (the late rule is a strict ``>``); see the boundary test in
+    ``tests/test_collector.py``.
     """
+    if config is None:
+        config = CleaningConfig()
     result = CleaningResult()
-    seen: Dict[int, bool] = {}
+    seen: Set[int] = set()
     # Full tuple key: equal-timestamp ties (possible when two sites log
     # with coarse clocks) must not make the outcome input-order-dependent.
     for reply in sorted(
@@ -88,6 +94,6 @@ def clean_replies(
         if reply.source_address in seen:
             result.duplicates += 1
             continue
-        seen[reply.source_address] = True
+        seen.add(reply.source_address)
         result.kept.append(reply)
     return result

@@ -1,13 +1,23 @@
-"""Experiment drivers: prepending sweeps and 24-hour stability series."""
+"""Experiment drivers: prepending sweeps and 24-hour stability series.
+
+All drivers evaluate routing through a :class:`RoutingCache`: the first
+configuration propagates in full, every later one is an incremental
+delta against it, and repeated configurations are dictionary hits.
+Results are bit-identical to scratch propagation either way.  Drivers
+that sweep independent scenarios accept ``parallel=`` to fan the
+scenarios out across a thread pool; results keep configuration order.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.atlas.platform import AtlasPlatform
+from repro.bgp.cache import RoutingCache, default_routing_cache
 from repro.bgp.policy import AnnouncementPolicy
-from repro.bgp.propagation import RoutingConfig, compute_routes
+from repro.bgp.propagation import RoutingConfig
 from repro.analysis.results import (
     PrependMeasurement,
     StabilityRound,
@@ -17,6 +27,26 @@ from repro.collector.results import ScanResult
 from repro.core.verfploeter import Verfploeter
 from repro.load.estimator import LoadEstimate
 from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+
+_T = TypeVar("_T")
+
+
+def _run_indexed(
+    worker: Callable[[int], _T], count: int, parallel: int
+) -> List[_T]:
+    """Run ``worker(0..count-1)``, optionally on threads, in index order.
+
+    Scenario workers are independent: they compute (or cache-fetch) a
+    routing outcome and run scans against per-call state.  Shared
+    structures they touch — the routing cache, an outcome's memoised
+    PoP/catchment maps — take locks or perform idempotent writes of
+    deterministic values, so the fan-out cannot change results, only
+    wall-clock time.
+    """
+    if parallel > 1 and count > 1:
+        with ThreadPoolExecutor(max_workers=min(parallel, count)) as pool:
+            return list(pool.map(worker, range(count)))
+    return [worker(index) for index in range(count)]
 
 #: The paper's Figure 5/6 x-axis for B-Root.
 BROOT_PREPEND_CONFIGS: Tuple[Tuple[str, Mapping[str, int]], ...] = (
@@ -32,17 +62,28 @@ def prepend_sweep(
     verfploeter: Verfploeter,
     atlas: AtlasPlatform,
     configs: Sequence[Tuple[str, Mapping[str, int]]] = BROOT_PREPEND_CONFIGS,
+    cache: Optional[RoutingCache] = None,
+    parallel: int = 1,
 ) -> List[PrependMeasurement]:
     """Measure each prepending configuration with Atlas and Verfploeter.
 
     The paper measures each configuration on a different day against a
     test prefix (§6.1); we measure each under its own routing state.
+    Routing states come from ``cache``: the equal-announcement baseline
+    is seeded first and each prepend variant propagates as a delta
+    against it.
     """
     service = verfploeter.service
-    results: List[PrependMeasurement] = []
-    for index, (label, prepends) in enumerate(configs):
+    internet = verfploeter.internet
+    routing_cache = cache if cache is not None else default_routing_cache()
+    # Seed the unprepended baseline before fanning out so every variant
+    # finds a delta baseline instead of propagating from scratch.
+    routing_cache.get_or_compute(internet, service.default_policy())
+
+    def measure_config(index: int) -> PrependMeasurement:
+        label, prepends = configs[index]
         policy = service.policy(prepends=prepends)
-        routing = compute_routes(verfploeter.internet, policy)
+        routing = routing_cache.get_or_compute(internet, policy)
         scan = verfploeter.run_scan(
             routing=routing,
             round_id=index,
@@ -50,16 +91,15 @@ def prepend_sweep(
             wire_level=False,
         )
         atlas_measurement = atlas.measure(routing, service, measurement_id=index)
-        results.append(
-            PrependMeasurement(
-                label=label,
-                policy=policy,
-                atlas_fractions=atlas_measurement.fractions(),
-                verfploeter_fractions=scan.catchment.fractions(),
-                scan=scan,
-            )
+        return PrependMeasurement(
+            label=label,
+            policy=policy,
+            atlas_fractions=atlas_measurement.fractions(),
+            verfploeter_fractions=scan.catchment.fractions(),
+            scan=scan,
         )
-    return results
+
+    return _run_indexed(measure_config, len(configs), parallel)
 
 
 def run_stability_series(
@@ -68,6 +108,7 @@ def run_stability_series(
     rounds: int = 96,
     interval_seconds: float = 900.0,
     fast: bool = False,
+    cache: Optional[RoutingCache] = None,
 ) -> StabilitySeries:
     """Run the paper's 24-hour stability experiment (§6.3).
 
@@ -75,14 +116,16 @@ def run_stability_series(
     stable/flipped/to-NR/from-NR counts and per-block flip totals.
     With ``fast=True`` the vectorised engine runs the rounds
     (bit-identical results, ~50x faster — required for paper-scale
-    series).
+    series).  The routing state is resolved through ``cache``, so a
+    series over an already-studied policy skips propagation entirely.
     """
+    routing_cache = cache if cache is not None else default_routing_cache()
+    routing = routing_cache.get_or_compute(
+        verfploeter.internet, policy or verfploeter.service.default_policy()
+    )
     if fast:
         from repro.core.fastscan import FastScanEngine
 
-        routing = compute_routes(
-            verfploeter.internet, policy or verfploeter.service.default_policy()
-        )
         engine = FastScanEngine(verfploeter, routing)
         scans = engine.run_series(
             rounds=rounds,
@@ -91,7 +134,7 @@ def run_stability_series(
         )
     else:
         scans = verfploeter.run_series(
-            policy=policy,
+            routing=routing,
             rounds=rounds,
             interval_seconds=interval_seconds,
             dataset_prefix="stability",
@@ -158,16 +201,24 @@ def site_failure_study(
     verfploeter: Verfploeter,
     estimate: LoadEstimate,
     sites: Optional[Sequence[str]] = None,
+    cache: Optional[RoutingCache] = None,
+    parallel: int = 1,
 ) -> List[SiteFailureResult]:
     """Withdraw each site in turn and predict the load redistribution.
 
     For every site: announce the service without it, measure the new
     catchment with Verfploeter, weight by historical load, and compare
-    per-site daily load against the all-sites baseline.
+    per-site daily load against the all-sites baseline.  Each
+    withdrawal's routing is a delta against the all-sites baseline.
     """
     service = verfploeter.service
+    internet = verfploeter.internet
+    routing_cache = cache if cache is not None else default_routing_cache()
+    baseline_routing = routing_cache.get_or_compute(
+        internet, service.default_policy()
+    )
     baseline_scan = verfploeter.run_scan(
-        policy=service.default_policy(), dataset_id="failure-baseline",
+        routing=baseline_routing, dataset_id="failure-baseline",
         wire_level=False,
     )
     baseline_load = weight_catchment(baseline_scan.catchment, estimate)
@@ -175,11 +226,14 @@ def site_failure_study(
         code: baseline_load.daily_of(code)
         for code in (*service.site_codes, UNKNOWN)
     }
-    results: List[SiteFailureResult] = []
-    for index, site_code in enumerate(sites or service.site_codes):
+    study_sites = list(sites or service.site_codes)
+
+    def withdraw_site(index: int) -> SiteFailureResult:
+        site_code = study_sites[index]
         policy = service.policy(withdrawn=[site_code])
+        routing = routing_cache.get_or_compute(internet, policy)
         scan = verfploeter.run_scan(
-            policy=policy,
+            routing=routing,
             round_id=100 + index,
             dataset_id=f"failure-{site_code}",
             wire_level=False,
@@ -189,15 +243,14 @@ def site_failure_study(
             code: after_load.daily_of(code)
             for code in (*service.site_codes, UNKNOWN)
         }
-        results.append(
-            SiteFailureResult(
-                withdrawn_site=site_code,
-                baseline=baseline,
-                after=after,
-                scan=scan,
-            )
+        return SiteFailureResult(
+            withdrawn_site=site_code,
+            baseline=baseline,
+            after=after,
+            scan=scan,
         )
-    return results
+
+    return _run_indexed(withdraw_site, len(study_sites), parallel)
 
 
 @dataclass(frozen=True)
@@ -220,6 +273,7 @@ def prediction_decay_study(
     verfploeter: Verfploeter,
     day_load_builder,
     eras: Sequence[int] = (0, 1, 2, 3),
+    cache: Optional[RoutingCache] = None,
 ) -> List[DecayPoint]:
     """How fast do Verfploeter load predictions go stale (paper §5.5)?
 
@@ -236,8 +290,9 @@ def prediction_decay_study(
     from repro.load.prediction import measured_site_load
 
     service = verfploeter.service
+    routing_cache = cache if cache is not None else default_routing_cache()
     base_policy = service.default_policy()
-    base_routing = compute_routes(
+    base_routing = routing_cache.get_or_compute(
         verfploeter.internet, base_policy, config=RoutingConfig(era=eras[0])
     )
     base_scan = verfploeter.run_scan(
@@ -249,7 +304,10 @@ def prediction_decay_study(
 
     points: List[DecayPoint] = []
     for era in eras:
-        era_routing = compute_routes(
+        # Per-era RoutingConfig keys differ, so eras never delta into
+        # each other — but the first era is a cache hit (it is the
+        # prediction baseline computed above).
+        era_routing = routing_cache.get_or_compute(
             verfploeter.internet, base_policy, config=RoutingConfig(era=era)
         )
         era_estimate = LoadEstimate(day_load_builder(era))

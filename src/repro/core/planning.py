@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 
 from repro.anycast.service import AnycastService
 from repro.anycast.site import AnycastSite
+from repro.bgp.cache import RoutingCache, default_routing_cache
 from repro.core.scenarios import Scenario
 from repro.core.verfploeter import ScanResult, Verfploeter
 from repro.errors import ConfigurationError, TopologyError
@@ -85,15 +86,21 @@ def evaluate_site_addition(
     site_code: str,
     latitude: float,
     longitude: float,
-    test_prefix: Prefix = Prefix("192.88.99.0/24"),
+    test_prefix: Optional[Prefix] = None,
     upstream_asn: Optional[int] = None,
+    cache: Optional[RoutingCache] = None,
 ) -> SiteAdditionResult:
     """Measure the effect of adding a site at (latitude, longitude).
 
     Announces the enlarged deployment on ``test_prefix`` (never touching
     the production service, per paper §3.1) and scans both the baseline
-    and the trial configuration.
+    and the trial configuration.  Both routing states resolve through
+    ``cache``: the test-prefix clone announces exactly what production
+    does, so its baseline is typically already cached, and the trial
+    propagates as a site-addition delta against it.
     """
+    test_prefix = test_prefix if test_prefix is not None else Prefix("192.88.99.0/24")
+    routing_cache = cache if cache is not None else default_routing_cache()
     service = scenario.service
     if site_code in service.site_codes:
         raise ConfigurationError(f"site code {site_code!r} already exists")
@@ -119,10 +126,18 @@ def evaluate_site_addition(
     )
 
     baseline_vp = Verfploeter(scenario.internet, baseline_service)
-    baseline = baseline_vp.run_scan(dataset_id="addition-baseline",
+    baseline_routing = routing_cache.get_or_compute(
+        scenario.internet, baseline_service.default_policy()
+    )
+    baseline = baseline_vp.run_scan(routing=baseline_routing,
+                                    dataset_id="addition-baseline",
                                     wire_level=False)
     trial_vp = Verfploeter(scenario.internet, trial_service)
-    trial = trial_vp.run_scan(dataset_id=f"addition-{site_code}",
+    trial_routing = routing_cache.get_or_compute(
+        scenario.internet, trial_service.default_policy()
+    )
+    trial = trial_vp.run_scan(routing=trial_routing,
+                              dataset_id=f"addition-{site_code}",
                               wire_level=False)
 
     captured = len(trial.catchment.blocks_of_site(site_code))

@@ -47,7 +47,7 @@ class Verfploeter:
         capture_style: str = "streaming",
         prober_config: Optional[ProberConfig] = None,
         hitlist: Optional[Hitlist] = None,
-        cleaning: CleaningConfig = CleaningConfig(),
+        cleaning: Optional[CleaningConfig] = None,
         latency_model: Optional[LatencyModel] = None,
     ) -> None:
         if capture_style not in CAPTURE_STYLES:
@@ -57,7 +57,7 @@ class Verfploeter:
         self.internet = internet
         self.service = service
         self.capture_style = capture_style
-        self.cleaning = cleaning
+        self.cleaning = cleaning if cleaning is not None else CleaningConfig()
         self.hitlist = hitlist if hitlist is not None else build_hitlist(internet)
         self.latency_model = (
             latency_model
@@ -192,16 +192,21 @@ class Verfploeter:
         rounds: int = 96,
         interval_seconds: float = 900.0,
         dataset_prefix: str = "series",
+        routing: Optional[RoutingOutcome] = None,
     ) -> List[ScanResult]:
         """Run ``rounds`` scans spaced ``interval_seconds`` apart.
 
         Mirrors the paper's 24-hour Tangled study (96 rounds every
-        15 minutes, dataset STV-3-23).  Routing is computed once; the
-        per-round variation comes from host churn and route flipping.
+        15 minutes, dataset STV-3-23).  Routing is computed once (or
+        passed in precomputed via ``routing``); the per-round variation
+        comes from host churn and route flipping.
         """
         if rounds < 1:
             raise MeasurementError("rounds must be >= 1")
-        routing = self.routing_for(policy)
+        if routing is not None and policy is not None:
+            raise MeasurementError("pass either routing or policy, not both")
+        if routing is None:
+            routing = self.routing_for(policy)
         return [
             self.run_scan(
                 routing=routing,

@@ -596,6 +596,78 @@ class SetPopRule:
                     )
 
 
+_MUTABLE_LITERAL_DEFAULTS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp,
+)
+_MUTABLE_BUILTIN_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+)
+
+
+def _callee_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register_rule
+class InstanceDefaultRule:
+    """D109: class instances or mutable literals as parameter defaults."""
+
+    rule_id = "D109"
+    name = "instance-default"
+    description = (
+        "a parameter default such as config=SomeConfig() or cache=[] is "
+        "evaluated once at import time and shared by every call, freezing "
+        "its configuration; default to None and construct inside"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                problem = self._describe(default)
+                if problem is not None:
+                    yield _violation(
+                        self, source, default,
+                        f"{problem}; default to None and build the value "
+                        "inside the function",
+                    )
+
+    def _describe(self, default: ast.AST) -> Optional[str]:
+        if isinstance(default, _MUTABLE_LITERAL_DEFAULTS):
+            return (
+                "mutable literal default is created once at definition "
+                "time and shared across calls"
+            )
+        if isinstance(default, ast.Call):
+            name = _callee_name(default.func)
+            if name is None:
+                return None
+            if name in _MUTABLE_BUILTIN_FACTORIES:
+                return (
+                    f"{name}() default is created once at definition time "
+                    "and shared across calls"
+                )
+            if name[:1].isupper():
+                return (
+                    f"{name}() instance default is constructed at import "
+                    "time, freezing its configuration for every caller"
+                )
+        return None
+
+
 def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
     parents: Dict[int, ast.AST] = {}
     for node in ast.walk(tree):

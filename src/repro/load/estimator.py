@@ -56,8 +56,14 @@ class LoadEstimate:
         return self.source.queries[row] * scale
 
     def heaviest(self, count: int) -> List[Tuple[int, float]]:
-        """Heaviest ``count`` blocks as ``(block, daily load)``."""
-        order = np.argsort(-self._daily)[:count]
+        """Heaviest ``count`` blocks as ``(block, daily load)``.
+
+        Ties break toward the lower block id.  ``lexsort`` is a stable
+        sort with an explicit secondary key; a plain ``argsort`` on the
+        float loads would order tied blocks by numpy's unstable
+        quicksort partitioning — a platform-dependent result.
+        """
+        order = np.lexsort((self.blocks, -self._daily))[:count]
         return [(int(self.blocks[i]), float(self._daily[i])) for i in order]
 
     def as_dict(self) -> Dict[int, float]:

@@ -103,9 +103,14 @@ class DayLoad:
         return float(self.queries[row].sum()) if row is not None else 0.0
 
     def top_blocks(self, count: int) -> List[Tuple[int, float]]:
-        """The heaviest ``count`` blocks as ``(block, queries/day)``."""
+        """The heaviest ``count`` blocks as ``(block, queries/day)``.
+
+        Ties break toward the lower block id via a stable ``lexsort``;
+        an unkeyed float ``argsort`` would leave tied blocks in
+        quicksort-partition order, which varies across numpy builds.
+        """
         daily = self.daily_queries()
-        order = np.argsort(-daily)[:count]
+        order = np.lexsort((self.blocks, -daily))[:count]
         return [(int(self.blocks[i]), float(daily[i])) for i in order]
 
     # -- transforms ---------------------------------------------------------

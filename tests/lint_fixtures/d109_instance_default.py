@@ -1,0 +1,17 @@
+"""Fixture: D109 — instance/mutable defaults evaluated at import time."""
+
+from typing import List
+
+
+class RetryPolicy:
+    def __init__(self, attempts: int = 3) -> None:
+        self.attempts = attempts
+
+
+def fetch(url: str, policy: RetryPolicy = RetryPolicy()) -> str:  # MARK
+    return f"{url}:{policy.attempts}"
+
+
+def merge(item: int, into: List[int] = []) -> List[int]:  # MARK
+    into.append(item)
+    return into

@@ -118,6 +118,19 @@ class TestDeterminismAndStability:
         again = two_site_routing.catchment_map()
         assert baseline.diff(again).flipped == 0
 
+    def test_catchment_map_memoized_per_round(self, two_site_routing):
+        # The outcome is immutable, so repeated calls must return the
+        # cached instance (identity proves the block->site dict was not
+        # re-derived) while different rounds get their own entries.
+        first = two_site_routing.catchment_map(round_id=3)
+        second = two_site_routing.catchment_map(round_id=3)
+        assert first is second
+        assert dict(first.items()) == dict(second.items())
+        other_round = two_site_routing.catchment_map(round_id=4)
+        assert other_round is not first
+        unrounded = two_site_routing.catchment_map()
+        assert unrounded is two_site_routing.catchment_map()
+
     def test_pop_site_within_candidates(self, tiny_internet, two_site_routing):
         for asn in tiny_internet.asns():
             selection = two_site_routing.selection_of(asn)

@@ -137,6 +137,25 @@ class TestCleaning:
         )
         assert result.late == 1
 
+    def test_reply_exactly_at_cutoff_is_kept(self):
+        # The late rule is a strict ">": a reply landing exactly at
+        # round_start + late_cutoff_seconds is still on time.
+        config = CleaningConfig(late_cutoff_seconds=900.0)
+        on_time = reply(timestamp=900.0)
+        just_late = reply(address=0x0A000002, timestamp=900.0 + 1e-6)
+        result = clean_replies([on_time, just_late], self.PROBED, 1, 0.0, config)
+        assert len(result.kept) == 1
+        assert result.kept[0].source_address == 0x0A000001
+        assert result.late == 1
+
+    def test_config_built_per_call_not_at_import(self):
+        # A CleaningConfig() default in the signature would be frozen
+        # at module import; the signature must default to None and
+        # build the config inside the call.
+        assert clean_replies.__defaults__ == (None,)
+        result = clean_replies([reply(timestamp=899.0)], self.PROBED, 1, 0.0)
+        assert len(result.kept) == 1
+
     def test_removes_duplicates_keeps_first(self):
         replies = [reply(timestamp=2.0, sequence=9), reply(timestamp=1.0, sequence=5)]
         result = clean_replies(replies, self.PROBED, 1, 0.0)

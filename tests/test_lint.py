@@ -26,6 +26,7 @@ FIXTURE_EXPECTATIONS = [
     ("d106_builtin_hash.py", "D106", "# MARK", 1),
     ("d107_set_order.py", "D107", "# MARK", 1),
     ("d108_set_pop.py", "D108", "# MARK", 1),
+    ("d109_instance_default.py", "D109", "# MARK", 2),  # call + literal
     ("s201_duplicate_label.py", "S201", "# MARK", 2),  # both sites flagged
     ("s202_colliding_label.py", "S202", "# MARK", 1),
     ("e301_foreign_raise.py", "E301", "# MARK", 1),

@@ -46,6 +46,24 @@ class TestDayLoad:
         load = make_day_load()
         assert load.top_blocks(1)[0][0] == 20
 
+    @pytest.mark.parametrize("kind", ["quicksort", "stable"])
+    def test_top_blocks_ties_break_by_block_id(self, kind):
+        # Dense ties (three distinct values over 64 blocks) are where
+        # an unkeyed argsort falls back to quicksort partition order.
+        n = 64
+        blocks = list(range(1, n + 1))
+        queries = np.zeros((n, HOURS))
+        for i in range(n):
+            queries[i, 0] = float(i % 3)
+        load = DayLoad("svc", "d", blocks, queries, np.ones(n), np.ones(n))
+        daily = load.daily_queries()
+        # Unique composite key -> the same reference under any kind:
+        # load descending, block id ascending.
+        reference = np.argsort(daily * -1000.0 + load.blocks, kind=kind)
+        expected = [(int(load.blocks[i]), float(daily[i])) for i in reference]
+        assert load.top_blocks(n) == expected
+        assert [block for block, _ in load.top_blocks(4)] == [3, 6, 9, 12]
+
     def test_scaled(self):
         load = make_day_load().scaled(2.0)
         assert load.total_queries() == pytest.approx(2 * 24 * 12)
