@@ -1,6 +1,6 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint bench bench-delta examples report all
+.PHONY: install test lint bench bench-delta bench-columnar examples report all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -20,6 +20,10 @@ bench-verbose:
 # Regenerate the incremental-propagation perf baseline (BENCH_delta_routing.json).
 bench-delta:
 	pytest benchmarks/bench_extension_delta_routing.py --benchmark-only -s
+
+# Regenerate the columnar-results perf baseline (BENCH_columnar_scan.json).
+bench-columnar:
+	pytest benchmarks/bench_extension_columnar_scan.py --benchmark-only -s
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script > /dev/null || exit 1; done

@@ -1,0 +1,171 @@
+"""Extension: columnar result layer end-to-end, dict vs array-backed.
+
+The paper's 24-hour stability study is 96 rounds over every responsive
+/24; with dict-backed results each round pays a Python loop to
+materialise ``{block: site}``/``{block: rtt}`` maps, another to diff
+adjacent rounds, and another to join the catchment against the load
+estimate.  The columnar layer keeps all three as array passes over one
+shared block universe.  This bench times both pipelines at the
+``large`` scale — single scan, load weighting, and the full 96-round
+series (scans + per-round weighting + stability assembly) — and proves
+the speedup buys bit-identical results: same ScanStats, same
+catchments, same RTTs, same SiteLoad.  Timings land in
+``BENCH_columnar_scan.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.results import build_stability_series
+from repro.core.fastscan import FastScanEngine
+from repro.core.scenarios import tangled_like
+from repro.core.verfploeter import Verfploeter
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import UNKNOWN, weight_catchment
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_columnar_scan.json")
+
+BENCH_SCALE = "large"
+ROUNDS = 96  # the paper's full 24-hour series
+
+#: Acceptance floor for the full series pipeline.
+MIN_SPEEDUP = 5.0
+
+
+def _best_of(runner, repeats: int = 3):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _series_pipeline(engine: FastScanEngine, estimate: LoadEstimate):
+    """Scan ROUNDS rounds, weight every round, assemble the series."""
+    scans = engine.run_series(rounds=ROUNDS, interval_seconds=900.0)
+    loads = [
+        weight_catchment(scan.catchment, estimate, hourly=True)
+        for scan in scans
+    ]
+    series = build_stability_series(scans)
+    return scans, loads, series
+
+
+def _assert_site_loads_equal(site_codes, fast, reference):
+    for code in (*site_codes, UNKNOWN):
+        assert fast.daily_of(code) == reference.daily_of(code)
+        assert np.array_equal(fast.hourly_of(code), reference.hourly_of(code))
+
+
+def test_extension_columnar_scan(benchmark):
+    scenario = tangled_like(scale=BENCH_SCALE)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    routing = verfploeter.routing_for()
+    estimate = LoadEstimate(scenario.day_load("2017-04-12"))
+    site_codes = scenario.service.site_codes
+
+    columnar = FastScanEngine(verfploeter, routing, columnar=True)
+    reference = FastScanEngine(verfploeter, routing, columnar=False)
+
+    # -- single scan: result materialisation only ---------------------------
+    scan_col_seconds, scan_col = _best_of(lambda: columnar.run_scan(round_id=0))
+    scan_ref_seconds, scan_ref = _best_of(lambda: reference.run_scan(round_id=0))
+    assert scan_col.stats == scan_ref.stats
+    assert dict(scan_col.catchment.items()) == dict(scan_ref.catchment.items())
+    assert dict(scan_col.rtts.items()) == scan_ref.rtts
+
+    # -- load weighting: one searchsorted+bincount pass vs the block loop ---
+    weight_col_seconds, load_col = _best_of(
+        lambda: weight_catchment(scan_col.catchment, estimate, hourly=True)
+    )
+    weight_ref_seconds, load_ref = _best_of(
+        lambda: weight_catchment(scan_ref.catchment, estimate, hourly=True)
+    )
+    _assert_site_loads_equal(site_codes, load_col, load_ref)
+
+    # -- the full 96-round pipeline -----------------------------------------
+    series_col_seconds, (scans_col, loads_col, series_col) = _best_of(
+        lambda: _series_pipeline(columnar, estimate), repeats=1
+    )
+    series_ref_seconds, (scans_ref, loads_ref, series_ref) = _best_of(
+        lambda: _series_pipeline(reference, estimate), repeats=1
+    )
+
+    # Equivalence across the whole series: stats and loads every round,
+    # full block-level maps on sampled rounds, identical stability math.
+    for fast, slow in zip(scans_col, scans_ref):
+        assert fast.stats == slow.stats
+    for fast, slow in zip(loads_col, loads_ref):
+        _assert_site_loads_equal(site_codes, fast, slow)
+    for index in (0, ROUNDS // 2, ROUNDS - 1):
+        assert dict(scans_col[index].catchment.items()) == dict(
+            scans_ref[index].catchment.items()
+        )
+        assert dict(scans_col[index].rtts.items()) == scans_ref[index].rtts
+    assert series_col.rounds == series_ref.rounds
+    assert series_col.flip_counts == series_ref.flip_counts
+
+    scan_speedup = (
+        scan_ref_seconds / scan_col_seconds if scan_col_seconds else float("inf")
+    )
+    weight_speedup = (
+        weight_ref_seconds / weight_col_seconds
+        if weight_col_seconds
+        else float("inf")
+    )
+    series_speedup = (
+        series_ref_seconds / series_col_seconds
+        if series_col_seconds
+        else float("inf")
+    )
+    payload = {
+        "scale": BENCH_SCALE,
+        "rounds": ROUNDS,
+        "blocks": len(verfploeter.hitlist),
+        "scan_dict_seconds": round(scan_ref_seconds, 4),
+        "scan_columnar_seconds": round(scan_col_seconds, 4),
+        "scan_speedup": round(scan_speedup, 2),
+        "weight_dict_seconds": round(weight_ref_seconds, 4),
+        "weight_columnar_seconds": round(weight_col_seconds, 4),
+        "weight_speedup": round(weight_speedup, 2),
+        "series_dict_seconds": round(series_ref_seconds, 3),
+        "series_columnar_seconds": round(series_col_seconds, 3),
+        "series_speedup": round(series_speedup, 2),
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print()
+    print(f"columnar results, scale={BENCH_SCALE}, {payload['blocks']} blocks:")
+    print(
+        f"  single scan        dict {scan_ref_seconds:8.4f} s   "
+        f"columnar {scan_col_seconds:8.4f} s   ({scan_speedup:.1f}x)"
+    )
+    print(
+        f"  weight_catchment   dict {weight_ref_seconds:8.4f} s   "
+        f"columnar {weight_col_seconds:8.4f} s   ({weight_speedup:.1f}x)"
+    )
+    print(
+        f"  {ROUNDS}-round series    dict {series_ref_seconds:8.3f} s   "
+        f"columnar {series_col_seconds:8.3f} s   ({series_speedup:.1f}x)"
+    )
+    print(f"  (recorded in {os.path.basename(RESULT_PATH)})")
+
+    assert series_speedup >= MIN_SPEEDUP, (
+        f"columnar series only {series_speedup:.2f}x faster "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+
+    benchmark.pedantic(
+        lambda: columnar.run_scan(round_id=1), rounds=1, iterations=1
+    )

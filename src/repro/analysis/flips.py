@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
+import numpy as np
+
 from repro.analysis.report import render_table
 from repro.analysis.results import StabilityRound, StabilitySeries
 from repro.topology.internet import Internet
@@ -28,8 +30,18 @@ def flip_table(
     """Aggregate flips per AS: the paper's Table 7 (plus Other/Total rows)."""
     flips_by_as: Dict[int, int] = {}
     blocks_by_as: Dict[int, Set[int]] = {}
-    for block, count in series.flip_counts.items():
-        asn = internet.asn_of_block(block)
+    flip_blocks = list(series.flip_counts)
+    # One bulk join replaces a dict probe per flipping block; walking the
+    # result in flip_counts order keeps first-seen AS insertion order, so
+    # the stable sort below ranks ties exactly as before.
+    asns = (
+        internet.asns_of_blocks(np.asarray(flip_blocks, dtype=np.int64))
+        if flip_blocks
+        else []
+    )
+    for block, asn_value in zip(flip_blocks, asns):
+        asn = int(asn_value)
+        count = series.flip_counts[block]
         flips_by_as[asn] = flips_by_as.get(asn, 0) + count
         blocks_by_as.setdefault(asn, set()).add(block)
     total_flips = series.total_flips()

@@ -10,9 +10,11 @@ re-exports every name for its callers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Sequence, Set
 
-from repro.anycast.catchment import CatchmentMap
+import numpy as np
+
+from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
 from repro.bgp.policy import AnnouncementPolicy
 from repro.collector.results import ScanResult
 
@@ -87,9 +89,44 @@ class StabilitySeries:
         """
         last = self.scans[-1].catchment
         flipping = self.flipping_blocks()
+        if isinstance(last, ArrayCatchmentMap):
+            mapped = last.mapped_block_array()
+            if flipping:
+                excluded = np.fromiter(
+                    flipping, dtype=np.int64, count=len(flipping)
+                )
+                mapped = mapped[~np.isin(mapped, excluded)]
+            return last.restrict(mapped)
         return last.restrict(
             block for block in last.blocks() if block not in flipping
         )
+
+
+def build_stability_series(scans: Sequence[ScanResult]) -> StabilitySeries:
+    """Assemble a :class:`StabilitySeries` from consecutive-round scans.
+
+    Each adjacent pair is diffed via :meth:`CatchmentMap.diff`; when the
+    scans carry array-backed catchments over a shared block universe
+    (the vectorised engine's output), every per-round diff reduces to
+    elementwise array comparisons instead of dict walks.
+    """
+    series = StabilitySeries(scans=list(scans))
+    for index in range(1, len(series.scans)):
+        earlier = series.scans[index - 1].catchment
+        later = series.scans[index].catchment
+        diff = earlier.diff(later)
+        series.rounds.append(
+            StabilityRound(
+                round_id=series.scans[index].round_id,
+                stable=diff.stable,
+                flipped=diff.flipped,
+                to_nr=diff.disappeared,
+                from_nr=diff.appeared,
+            )
+        )
+        for block in diff.flipped_blocks:
+            series.flip_counts[block] = series.flip_counts.get(block, 0) + 1
+    return series
 
 
 @dataclass(frozen=True)

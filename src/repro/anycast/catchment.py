@@ -1,11 +1,32 @@
-"""Catchment maps: which /24 block is served by which site."""
+"""Catchment maps: which /24 block is served by which site.
+
+Two interchangeable representations live here:
+
+- :class:`CatchmentMap` — the dict-backed reference implementation,
+  one ``{block: site}`` entry per mapped block.  Simple, obviously
+  correct, and the behavioural contract for the columnar path.
+- :class:`ArrayCatchmentMap` — the columnar implementation: a shared
+  sorted ``uint64`` *block universe* plus one ``int16`` site index per
+  universe block (``-1`` = unmapped).  All public methods are
+  vectorised (``bincount``/``searchsorted``/boolean masks) and
+  bit-equal to the reference, including ``diff``'s sorted
+  ``flipped_blocks``.  Rounds of one measurement series share the same
+  universe array, which makes per-round diffs pure array comparisons.
+"""
+# reprolint: hot-path
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
 
 UNKNOWN_SITE = "UNK"
+
+_UINT64_MAX = 0xFFFFFFFFFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -57,7 +78,7 @@ class CatchmentMap:
         """Blocks per site (sites with zero blocks included)."""
         counts = {code: 0 for code in self._site_codes}
         for site in self._mapping.values():
-            counts[site] = counts.get(site, 0) + 1
+            counts[site] = counts.get(site, 0) + 1  # reprolint: disable=D110 — reference path
         return counts
 
     def fractions(self) -> Dict[str, float]:
@@ -103,3 +124,238 @@ class CatchmentMap:
             disappeared=len(earlier_blocks - later_blocks),
             flipped_blocks=tuple(flipped),
         )
+
+
+class ArrayCatchmentMap(CatchmentMap):
+    """Columnar catchment map over a shared, sorted block universe.
+
+    ``universe`` is a strictly-ascending ``uint64`` array of candidate
+    blocks; ``sites`` holds one ``int16`` index into ``site_codes`` per
+    universe entry, ``-1`` for unmapped.  A *mapped* block is one with
+    a non-negative site index.  The universe array is shared (not
+    copied) between the rounds of a series, so equal-universe diffs
+    reduce to element-wise comparisons.
+    """
+
+    def __init__(
+        self,
+        site_codes: Iterable[str],
+        universe: np.ndarray,
+        sites: np.ndarray,
+        validate: bool = True,
+    ) -> None:
+        self._site_codes = list(site_codes)
+        universe = np.asarray(universe, dtype=np.uint64)
+        sites = np.asarray(sites, dtype=np.int16)
+        if validate:
+            if universe.shape != sites.shape or universe.ndim != 1:
+                raise ConfigurationError(
+                    "universe and sites must be 1-D arrays of equal length"
+                )
+            if universe.size > 1 and not (np.diff(universe.astype(np.int64)) > 0).all():
+                raise ConfigurationError("block universe must be strictly ascending")
+            if sites.size and int(sites.max()) >= len(self._site_codes):
+                raise ConfigurationError("site index out of range for site_codes")
+        self._universe = universe
+        self._sites = sites
+        self._mapping_cache: Optional[Dict[int, str]] = None
+        self._mapped_count: Optional[int] = None
+
+    @classmethod
+    def from_mapping(
+        cls, site_codes: Iterable[str], mapping: Mapping[int, str]
+    ) -> "ArrayCatchmentMap":
+        """Build a columnar map from a plain ``{block: site}`` mapping."""
+        codes = list(site_codes)
+        index = {code: i for i, code in enumerate(codes)}
+        blocks = sorted(mapping)
+        sites = np.empty(len(blocks), dtype=np.int16)
+        for row, block in enumerate(blocks):
+            site = mapping[block]
+            if site not in index:
+                raise ConfigurationError(
+                    f"site {site!r} of block {block} is not in site_codes"
+                )
+            sites[row] = index[site]
+        return cls(
+            codes, np.asarray(blocks, dtype=np.uint64), sites, validate=False
+        )
+
+    def to_reference(self) -> CatchmentMap:
+        """The equivalent dict-backed :class:`CatchmentMap`."""
+        return CatchmentMap(self._site_codes, dict(self.items()))
+
+    # -- columnar accessors ------------------------------------------------
+
+    @property
+    def universe(self) -> np.ndarray:
+        """The shared sorted block universe (do not mutate)."""
+        return self._universe
+
+    @property
+    def site_index_array(self) -> np.ndarray:
+        """Per-universe-block site indices, ``-1`` = unmapped (do not mutate)."""
+        return self._sites
+
+    def mapped_block_array(self) -> np.ndarray:
+        """Mapped blocks as an ascending ``int64`` array."""
+        return self._universe[self._sites >= 0].astype(np.int64)
+
+    def index_of_site(self, site_code: str) -> Optional[int]:
+        """Index of ``site_code`` in :attr:`site_codes`, or None."""
+        try:
+            return self._site_codes.index(site_code)
+        except ValueError:
+            return None
+
+    def site_indices_of(self, blocks: np.ndarray) -> np.ndarray:
+        """Site index for each of ``blocks`` (``-1`` = absent or unmapped)."""
+        blocks = np.asarray(blocks)
+        if self._universe.size == 0 or blocks.size == 0:
+            return np.full(blocks.shape, -1, dtype=np.int16)
+        keys = blocks.astype(np.uint64)
+        pos = np.searchsorted(self._universe, keys)
+        pos = np.minimum(pos, self._universe.size - 1)
+        found = self._universe[pos] == keys
+        return np.where(found, self._sites[pos], np.int16(-1)).astype(np.int16)
+
+    # -- dict-API equivalents ----------------------------------------------
+
+    @property
+    def _mapping(self) -> Dict[int, str]:  # cross-representation interop
+        if self._mapping_cache is None:
+            self._mapping_cache = {
+                int(block): self._site_codes[site]
+                for block, site in zip(
+                    self._universe[self._sites >= 0], self._sites[self._sites >= 0]
+                )
+            }
+        return self._mapping_cache
+
+    def __len__(self) -> int:
+        if self._mapped_count is None:
+            self._mapped_count = int(np.count_nonzero(self._sites >= 0))
+        return self._mapped_count
+
+    def __contains__(self, block: int) -> bool:
+        return self._index_of_block(block) is not None
+
+    def _index_of_block(self, block: int) -> Optional[int]:
+        """Universe row of a *mapped* ``block``, or None."""
+        if not 0 <= block <= _UINT64_MAX or self._universe.size == 0:
+            return None
+        pos = int(np.searchsorted(self._universe, np.uint64(block)))
+        if pos >= self._universe.size or int(self._universe[pos]) != block:
+            return None
+        return pos if self._sites[pos] >= 0 else None
+
+    def site_of(self, block: int) -> Optional[str]:
+        """Site serving ``block``, or None when unmapped."""
+        pos = self._index_of_block(block)
+        return self._site_codes[self._sites[pos]] if pos is not None else None
+
+    def blocks(self) -> Iterator[int]:
+        """All mapped blocks, ascending."""
+        return (int(block) for block in self._universe[self._sites >= 0])
+
+    def items(self) -> Iterator[Tuple[int, str]]:
+        """All ``(block, site)`` pairs, ascending by block."""
+        mask = self._sites >= 0
+        return (
+            (int(block), self._site_codes[site])
+            for block, site in zip(self._universe[mask], self._sites[mask])
+        )
+
+    def blocks_of_site(self, site_code: str) -> List[int]:
+        """Blocks in the catchment of ``site_code``, ascending."""
+        index = self.index_of_site(site_code)
+        if index is None:
+            return []
+        return [int(block) for block in self._universe[self._sites == index]]
+
+    def counts(self) -> Dict[str, int]:
+        """Blocks per site (sites with zero blocks included)."""
+        mapped = self._sites[self._sites >= 0]
+        tally = np.bincount(mapped, minlength=len(self._site_codes))
+        return {code: int(tally[i]) for i, code in enumerate(self._site_codes)}
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of mapped blocks per site."""
+        total = len(self)
+        if total == 0:
+            return {code: 0.0 for code in self._site_codes}
+        return {code: count / total for code, count in self.counts().items()}
+
+    def fraction_of(self, site_code: str) -> float:
+        """Share of mapped blocks served by ``site_code``."""
+        total = len(self)
+        index = self.index_of_site(site_code)
+        if total == 0 or index is None:
+            return 0.0
+        return int(np.count_nonzero(self._sites == index)) / total
+
+    def restrict(self, blocks: Iterable[int]) -> "ArrayCatchmentMap":
+        """A new map keeping only ``blocks``; the universe stays shared."""
+        if isinstance(blocks, np.ndarray):
+            keep = np.unique(blocks.astype(np.uint64))
+        else:
+            valid = [block for block in blocks if 0 <= block <= _UINT64_MAX]
+            keep = np.unique(np.asarray(valid, dtype=np.uint64))
+        member = np.isin(self._universe, keep, assume_unique=True)
+        return ArrayCatchmentMap(
+            self._site_codes,
+            self._universe,
+            np.where(member, self._sites, np.int16(-1)),
+            validate=False,
+        )
+
+    def diff(self, later: "CatchmentMap") -> CatchmentDiff:
+        """Vectorised diff; bit-equal to the dict reference.
+
+        Equal universes (the series case: the exact same array object,
+        or equal contents) compare element-wise; different universes
+        join on the sorted block arrays; anything else — a dict-backed
+        ``later``, differing site vocabularies — falls back to the
+        reference implementation.
+        """
+        if (
+            not isinstance(later, ArrayCatchmentMap)
+            or self._site_codes != later._site_codes
+        ):
+            return super().diff(later)
+        a_sites, b_sites = self._sites, later._sites
+        if self._universe is later._universe or (
+            self._universe.shape == later._universe.shape
+            and np.array_equal(self._universe, later._universe)
+        ):
+            a_mapped = a_sites >= 0
+            b_mapped = b_sites >= 0
+            both = a_mapped & b_mapped
+            flipped_blocks = self._universe[both & (a_sites != b_sites)]
+            stable = int(np.count_nonzero(both & (a_sites == b_sites)))
+        else:
+            _, rows_a, rows_b = np.intersect1d(
+                self._universe,
+                later._universe,
+                assume_unique=True,
+                return_indices=True,
+            )
+            sa, sb = a_sites[rows_a], b_sites[rows_b]
+            both = (sa >= 0) & (sb >= 0)
+            flipped_blocks = self._universe[rows_a[both & (sa != sb)]]
+            stable = int(np.count_nonzero(both & (sa == sb)))
+        flipped = int(flipped_blocks.size)
+        return CatchmentDiff(
+            stable=stable,
+            flipped=flipped,
+            appeared=len(later) - stable - flipped,
+            disappeared=len(self) - stable - flipped,
+            flipped_blocks=tuple(int(block) for block in np.sort(flipped_blocks)),
+        )
+
+
+def columnar_catchment(
+    site_codes: Sequence[str], mapping: Mapping[int, str]
+) -> ArrayCatchmentMap:
+    """Convenience: :meth:`ArrayCatchmentMap.from_mapping`."""
+    return ArrayCatchmentMap.from_mapping(site_codes, mapping)

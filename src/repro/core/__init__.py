@@ -5,6 +5,7 @@ from repro.core.experiments import (
     PrependMeasurement,
     StabilityRound,
     StabilitySeries,
+    build_stability_series,
     prepend_sweep,
     run_stability_series,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "run_stability_series",
     "StabilityRound",
     "StabilitySeries",
+    "build_stability_series",
     "FastScanEngine",
     "evaluate_site_addition",
     "find_upstream_near",

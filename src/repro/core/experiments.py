@@ -22,6 +22,7 @@ from repro.analysis.results import (
     PrependMeasurement,
     StabilityRound,
     StabilitySeries,
+    build_stability_series,
 )
 from repro.collector.results import ScanResult
 from repro.core.verfploeter import Verfploeter
@@ -109,6 +110,7 @@ def run_stability_series(
     interval_seconds: float = 900.0,
     fast: bool = False,
     cache: Optional[RoutingCache] = None,
+    parallel: int = 1,
 ) -> StabilitySeries:
     """Run the paper's 24-hour stability experiment (§6.3).
 
@@ -116,7 +118,9 @@ def run_stability_series(
     stable/flipped/to-NR/from-NR counts and per-block flip totals.
     With ``fast=True`` the vectorised engine runs the rounds
     (bit-identical results, ~50x faster — required for paper-scale
-    series).  The routing state is resolved through ``cache``, so a
+    series) and ``parallel`` > 1 fans them out over threads; the scalar
+    engine ignores ``parallel`` (its rounds share mutable dataplane
+    state).  The routing state is resolved through ``cache``, so a
     series over an already-studied policy skips propagation entirely.
     """
     routing_cache = cache if cache is not None else default_routing_cache()
@@ -131,6 +135,7 @@ def run_stability_series(
             rounds=rounds,
             interval_seconds=interval_seconds,
             dataset_prefix="stability",
+            parallel=parallel,
         )
     else:
         scans = verfploeter.run_series(
@@ -139,23 +144,7 @@ def run_stability_series(
             interval_seconds=interval_seconds,
             dataset_prefix="stability",
         )
-    series = StabilitySeries(scans=scans)
-    for index in range(1, len(scans)):
-        earlier = scans[index - 1].catchment
-        later = scans[index].catchment
-        diff = earlier.diff(later)
-        series.rounds.append(
-            StabilityRound(
-                round_id=scans[index].round_id,
-                stable=diff.stable,
-                flipped=diff.flipped,
-                to_nr=diff.disappeared,
-                from_nr=diff.appeared,
-            )
-        )
-        for block in diff.flipped_blocks:
-            series.flip_counts[block] = series.flip_counts.get(block, 0) + 1
-    return series
+    return build_stability_series(scans)
 
 
 @dataclass(frozen=True)

@@ -10,21 +10,35 @@ perfectly tractable vectorised.
 The engine precomputes everything round-invariant (permutation domain,
 stable responders, base catchment sites, geography) once per routing
 state, then evaluates each round with a handful of array operations.
+Precomputation itself is columnar: blocks join against the internet's
+block table and the geo database's columnar snapshot with
+``searchsorted``, and per-PoP routing facts are computed once per PoP
+and broadcast, so no per-block Python loop runs at any point.
+
+Results are columnar end-to-end by default: each round returns an
+:class:`~repro.anycast.catchment.ArrayCatchmentMap` over the engine's
+shared block universe plus a :class:`BlockValueMap` of RTTs, so
+consumers (diffs, load weighting, stability series) stay in numpy.
+``columnar=False`` selects the dict-backed reference materialisation
+the equivalence suite compares against.
 """
+# reprolint: hot-path
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.anycast.catchment import CatchmentMap
+from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
 from repro.bgp import instability as _instability
 from repro.bgp.propagation import RoutingOutcome
+from repro.collector.results import BlockValueMap
 from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
 from repro.geo.distance import EARTH_RADIUS_KM
 from repro.icmp import latency as _latency
-from repro.rng import mix64, uniform_unit_np
+from repro.rng import hash_prefix_np, uniform_from_prefix_np, uniform_unit_np
 from repro.topology import hosts as _hosts
 
 _ROUNDS = 4  # Feistel rounds; must match probing.order
@@ -77,9 +91,11 @@ class FastScanEngine:
         self,
         verfploeter: Verfploeter,
         routing: Optional[RoutingOutcome] = None,
+        columnar: bool = True,
     ) -> None:
         self.verfploeter = verfploeter
         self.routing = routing if routing is not None else verfploeter.routing_for()
+        self.columnar = columnar
         internet = verfploeter.internet
         self._seed = internet.seed
         self._host_config = internet.host_model.config
@@ -91,34 +107,60 @@ class FastScanEngine:
         self._site_codes = list(self.routing.policy.site_codes)
         site_index = {code: i for i, code in enumerate(self._site_codes)}
 
-        # --- per-block round-invariant state (one Python pass) ----------
-        base = np.full(self._n, -1, dtype=np.int16)
-        alternate = np.full(self._n, -1, dtype=np.int16)
-        flipper = np.zeros(self._n, dtype=bool)
-        threshold = np.empty(self._n, dtype=np.float64)
-        lat = np.full(self._n, np.nan, dtype=np.float64)
-        lon = np.full(self._n, np.nan, dtype=np.float64)
-        model = internet.host_model
-        for row, block in enumerate(int(b) for b in self._blocks):
-            record = internet.geodb.locate(block)
-            country = record.country_code if record is not None else None
-            threshold[row] = model.responsiveness_for(country)
-            if record is not None:
-                lat[row] = record.latitude
-                lon[row] = record.longitude
-            site = self.routing.site_of_block(block)
+        # --- per-block round-invariant state (bulk joins, no block loop) --
+        # Routing facts vary per PoP, not per block: compute site / alternate /
+        # flipper once per PoP (and per AS behind it), then broadcast over the
+        # hitlist through the internet's columnar block table.
+        pop_count = len(internet.pops)
+        pop_base = np.full(pop_count, -1, dtype=np.int16)
+        pop_alternate = np.full(pop_count, -1, dtype=np.int16)
+        pop_flipper = np.zeros(pop_count, dtype=bool)
+        for pop in internet.pops:
+            site = self.routing.site_of_pop(pop)
             if site is None:
                 continue
-            base[row] = site_index[site]
-            pop = internet.pop_of_block(block)
-            selection = self.routing.selections[pop.asn]
-            flipper[row] = internet.ases[pop.asn].flipper
-            alt = selection.alternate_site
-            if alt is not None and alt != site and alt in site_index:
-                alternate[row] = site_index[alt]
+            pop_base[pop.pop_id] = site_index[site]
+            pop_flipper[pop.pop_id] = internet.ases[pop.asn].flipper
+            alternate = self.routing.selections[pop.asn].alternate_site
+            if alternate is not None and alternate != site and alternate in site_index:
+                pop_alternate[pop.pop_id] = site_index[alternate]
+
+        table_blocks, _, table_pops = internet.block_table()
+        signed_blocks = self._blocks.astype(np.int64)
+        rows = np.searchsorted(table_blocks, signed_blocks)
+        rows = np.minimum(rows, max(table_blocks.size - 1, 0))
+        populated = (table_blocks.size > 0) & (table_blocks[rows] == signed_blocks)
+        block_pops = np.where(populated, table_pops[rows], 0)
+        base = np.where(populated, pop_base[block_pops], np.int16(-1)).astype(np.int16)
+        has_site = base >= 0
+        alternate = np.where(
+            has_site, pop_alternate[block_pops], np.int16(-1)
+        ).astype(np.int16)
+        flipper = has_site & pop_flipper[block_pops]
         self._base = base
         self._alternate = alternate
         self._flipper = flipper
+
+        # Geography joins against the geo database's columnar snapshot;
+        # responsiveness thresholds are per country, broadcast to blocks.
+        model = internet.host_model
+        columns = internet.geodb.columnar()
+        geo_rows, located = internet.geodb.join(signed_blocks)
+        lat = np.where(located, columns.latitudes[geo_rows], np.nan)
+        lon = np.where(located, columns.longitudes[geo_rows], np.nan)
+        country_thresholds = np.array(
+            [model.responsiveness_for(code) for code in columns.countries],
+            dtype=np.float64,
+        )
+        base_threshold = model.responsiveness_for(None)
+        if columns.countries:
+            threshold = np.where(
+                located,
+                country_thresholds[columns.country_index[geo_rows]],
+                base_threshold,
+            )
+        else:
+            threshold = np.full(self._n, base_threshold, dtype=np.float64)
 
         # --- round-invariant stochastic masks ----------------------------
         cfg = self._host_config
@@ -138,6 +180,21 @@ class FastScanEngine:
             uniform_unit_np(self._seed, _instability._PARTICIPATE_SALT, self._blocks)
             < self._flip_config.flipper_block_fraction
         )
+
+        # Per-round draws share a round-invariant hash prefix over
+        # (seed, salt, blocks); each round then needs only one array
+        # mix pass to absorb the round id.
+        self._round_prefixes = {
+            salt: hash_prefix_np(self._seed, salt, self._blocks)
+            for salt in (
+                _hosts._CHURN_SALT,
+                _hosts._DUPN_SALT,
+                _hosts._LATENCY_SALT,
+                _hosts._LATE_SALT,
+                _instability._FLIP_SALT,
+                _latency._JITTER_SALT,
+            )
+        }
 
         # --- latency precomputation ---------------------------------------
         lm = verfploeter.latency_model
@@ -167,8 +224,16 @@ class FastScanEngine:
         self._prober = verfploeter._prober
         self._interval = 1.0 / verfploeter.prober_config.rate_pps
         self._late_cutoff = verfploeter.cleaning.late_cutoff_seconds
+        self._row_index = np.arange(self._n)
+        self._position_offsets = (
+            np.arange(self._n, dtype=np.float64) * self._interval
+        )
 
     # -- per-round evaluation ---------------------------------------------
+
+    def _round_draw(self, salt: int, round_id: int) -> np.ndarray:
+        """One per-block uniform draw for this round (prefix finished)."""
+        return uniform_from_prefix_np(self._round_prefixes[salt], round_id)
 
     def _send_offsets(self, round_id: int) -> np.ndarray:
         """Seconds after round start each hitlist entry's probe is sent."""
@@ -176,7 +241,7 @@ class FastScanEngine:
         # engines walk the identical permutation.
         perm = _VectorPermutation(self._n, self._prober.order_seed(round_id)).permutation()
         offsets = np.empty(self._n, dtype=np.float64)
-        offsets[perm] = np.arange(self._n, dtype=np.float64) * self._interval
+        offsets[perm] = self._position_offsets
         return offsets
 
     def run_scan(
@@ -189,14 +254,12 @@ class FastScanEngine:
         cfg = self._host_config
         blocks = self._blocks
         responds = self._stable & (
-            uniform_unit_np(self._seed, _hosts._CHURN_SALT, blocks, round_id)
+            self._round_draw(_hosts._CHURN_SALT, round_id)
             >= cfg.churn_probability
         )
 
         # Site selection with per-round flips.
-        flip_draw = uniform_unit_np(
-            self._seed, _instability._FLIP_SALT, blocks, round_id
-        )
+        flip_draw = self._round_draw(_instability._FLIP_SALT, round_id)
         has_alternate = self._alternate >= 0
         flips = has_alternate & (
             (self._participates & (flip_draw < self._flip_config.flipper_flip_probability))
@@ -206,7 +269,7 @@ class FastScanEngine:
         delivered = responds & (site >= 0)
 
         # Reply counts (duplicates).
-        tail = uniform_unit_np(self._seed, _hosts._DUPN_SALT, blocks, round_id)
+        tail = self._round_draw(_hosts._DUPN_SALT, round_id)
         heavy = tail < cfg.heavy_duplicate_fraction
         counts = np.ones(self._n, dtype=np.int64)
         counts[self._duplicator & ~heavy] = 2
@@ -216,24 +279,21 @@ class FastScanEngine:
         counts = np.where(delivered, counts, 0)
 
         # First-reply delay (milliseconds), mirroring the dataplane.
-        latency_draw = uniform_unit_np(
-            self._seed, _hosts._LATENCY_SALT, blocks, round_id
-        )
+        latency_draw = self._round_draw(_hosts._LATENCY_SALT, round_id)
         late_replier = (
-            uniform_unit_np(self._seed, _hosts._LATE_SALT, blocks, round_id)
-            < cfg.late_fraction
+            self._round_draw(_hosts._LATE_SALT, round_id) < cfg.late_fraction
         )
         host_delay = np.where(
             late_replier,
             cfg.late_threshold_ms * (1.0 + 4.0 * latency_draw),
             10.0 + 390.0 * latency_draw,
         )
-        jitter = self._jitter_scale * uniform_unit_np(
-            self._seed, _latency._JITTER_SALT, blocks, round_id
+        jitter = self._jitter_scale * self._round_draw(
+            _latency._JITTER_SALT, round_id
         )
         site_clamped = np.clip(site, 0, len(self._site_codes) - 1)
         path_delay = (
-            self._site_rtt[site_clamped, np.arange(self._n)]
+            self._site_rtt[site_clamped, self._row_index]
             + self._access
             + jitter
         )
@@ -258,14 +318,30 @@ class FastScanEngine:
         duplicates = int((within[kept_mask] - 1).sum())
         kept = int(kept_mask.sum())
 
-        mapping: Dict[int, str] = {}
-        rtts: Dict[int, float] = {}
-        kept_blocks = blocks[kept_mask].astype(np.int64)
-        kept_sites = site[kept_mask]
-        kept_delays = delay[kept_mask]
-        for block, site_idx, block_delay in zip(kept_blocks, kept_sites, kept_delays):
-            mapping[int(block)] = self._site_codes[site_idx]
-            rtts[int(block)] = float(block_delay)
+        if self.columnar:
+            # The universe array is shared across every round this engine
+            # produces, so consecutive-round diffs are pure array compares.
+            catchment: CatchmentMap = ArrayCatchmentMap(
+                self._site_codes,
+                blocks,
+                np.where(kept_mask, site, np.int16(-1)).astype(np.int16),
+                validate=False,
+            )
+            rtts = BlockValueMap(
+                blocks[kept_mask].astype(np.int64), delay[kept_mask]
+            )
+        else:
+            # Dict-backed reference materialisation (equivalence baseline).
+            mapping: Dict[int, str] = {}
+            rtt_dict: Dict[int, float] = {}
+            kept_blocks = blocks[kept_mask].astype(np.int64)
+            kept_sites = site[kept_mask]
+            kept_delays = delay[kept_mask]
+            for block, site_idx, block_delay in zip(kept_blocks, kept_sites, kept_delays):
+                mapping[int(block)] = self._site_codes[site_idx]  # reprolint: disable=D110 — reference path
+                rtt_dict[int(block)] = float(block_delay)  # reprolint: disable=D110 — reference path
+            catchment = CatchmentMap(self._site_codes, mapping)
+            rtts = rtt_dict
 
         stats = ScanStats(
             probes_sent=self._n,
@@ -281,7 +357,7 @@ class FastScanEngine:
             round_id=round_id,
             start_time=start_time,
             duration_seconds=self._n * self._interval,
-            catchment=CatchmentMap(self._site_codes, mapping),
+            catchment=catchment,
             stats=stats,
             rtts=rtts,
         )
@@ -291,13 +367,25 @@ class FastScanEngine:
         rounds: int,
         interval_seconds: float = 900.0,
         dataset_prefix: str = "fast-series",
+        parallel: int = 1,
     ) -> List[ScanResult]:
-        """A stability series, vectorised round by round."""
-        return [
-            self.run_scan(
+        """A stability series, vectorised round by round.
+
+        ``parallel`` > 1 fans the rounds out over a thread pool
+        (mirroring the experiment drivers' opt-in fan-out): each round
+        reads only the engine's immutable precomputed arrays, so the
+        fan-out changes wall-clock time, never results.  Results keep
+        round order either way.
+        """
+
+        def one_round(round_id: int) -> ScanResult:
+            return self.run_scan(
                 round_id=round_id,
                 start_time=round_id * interval_seconds,
                 dataset_id=f"{dataset_prefix}-r{round_id:03d}",
             )
-            for round_id in range(rounds)
-        ]
+
+        if parallel > 1 and rounds > 1:
+            with ThreadPoolExecutor(max_workers=min(parallel, rounds)) as pool:
+                return list(pool.map(one_round, range(rounds)))
+        return [one_round(round_id) for round_id in range(rounds)]

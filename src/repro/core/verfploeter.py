@@ -217,3 +217,19 @@ class Verfploeter:
             )
             for round_id in range(rounds)
         ]
+
+    def fast_engine(
+        self,
+        routing: Optional[RoutingOutcome] = None,
+        columnar: bool = True,
+    ) -> "FastScanEngine":
+        """A vectorised engine bound to this deployment.
+
+        ``columnar=True`` (the default) makes every round's results
+        array-backed end-to-end; ``columnar=False`` selects the
+        dict-backed reference materialisation.  Imported lazily because
+        :mod:`repro.core.fastscan` imports this module.
+        """
+        from repro.core.fastscan import FastScanEngine
+
+        return FastScanEngine(self, routing=routing, columnar=columnar)

@@ -23,6 +23,15 @@ class PrefixLookupError(ReproError, KeyError):
     """
 
 
+class BlockLookupError(ReproError, KeyError):
+    """A block key was absent from a columnar block mapping.
+
+    Subclasses :class:`KeyError` so callers using the ``Mapping``
+    protocol (``.get``, ``[]`` with ``try``/``except KeyError``) keep
+    dict semantics.
+    """
+
+
 class TopologyError(ReproError):
     """The synthetic topology is inconsistent or a lookup failed."""
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import DatasetError
 
 
@@ -23,11 +25,29 @@ class GeoRecord:
     longitude: float
 
 
+@dataclass(frozen=True)
+class GeoColumns:
+    """Columnar snapshot of a :class:`GeoDatabase`.
+
+    ``blocks`` ascend; ``latitudes``/``longitudes``/``country_index``
+    align row-for-row.  ``country_index`` indexes into ``countries``
+    (sorted unique country codes) so per-country scalars — e.g. host
+    responsiveness — can be broadcast over all located blocks at once.
+    """
+
+    blocks: np.ndarray
+    latitudes: np.ndarray
+    longitudes: np.ndarray
+    country_index: np.ndarray
+    countries: Tuple[str, ...]
+
+
 class GeoDatabase:
     """Maps /24 block ids to :class:`GeoRecord` entries."""
 
     def __init__(self) -> None:
         self._records: Dict[int, GeoRecord] = {}
+        self._columns: Optional[GeoColumns] = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -38,10 +58,12 @@ class GeoDatabase:
     def add(self, block: int, record: GeoRecord) -> None:
         """Register the location of ``block`` (replacing any previous one)."""
         self._records[block] = record
+        self._columns = None
 
     def add_many(self, entries: Iterable[Tuple[int, GeoRecord]]) -> None:
         """Bulk insert ``(block, record)`` pairs."""
         self._records.update(entries)
+        self._columns = None
 
     def locate(self, block: int) -> Optional[GeoRecord]:
         """Return the record for ``block`` or None when unlocatable."""
@@ -62,3 +84,53 @@ class GeoDatabase:
         if record is None:
             raise DatasetError(f"block {block} has no geolocation")
         return record
+
+    def columnar(self) -> GeoColumns:
+        """Cached columnar snapshot, rebuilt after any insert.
+
+        One Python pass over the records; every later consumer joins
+        against the sorted block array with ``searchsorted`` instead of
+        issuing a dict probe per block.
+        """
+        if self._columns is None:
+            blocks = sorted(self._records)
+            count = len(blocks)
+            countries = tuple(
+                sorted({record.country_code for record in self._records.values()})
+            )
+            country_row = {code: row for row, code in enumerate(countries)}
+            latitudes = np.empty(count, dtype=np.float64)
+            longitudes = np.empty(count, dtype=np.float64)
+            country_index = np.empty(count, dtype=np.int32)
+            for row, block in enumerate(blocks):
+                record = self._records[block]
+                latitudes[row] = record.latitude
+                longitudes[row] = record.longitude
+                country_index[row] = country_row[record.country_code]
+            self._columns = GeoColumns(
+                blocks=np.asarray(blocks, dtype=np.int64),
+                latitudes=latitudes,
+                longitudes=longitudes,
+                country_index=country_index,
+                countries=countries,
+            )
+        return self._columns
+
+    def join(self, blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Locate many blocks at once.
+
+        Returns ``(rows, located)``: for each of ``blocks``, its row in
+        the :meth:`columnar` arrays (meaningless where ``located`` is
+        False) and whether the database knows it.
+        """
+        columns = self.columnar()
+        keys = np.asarray(blocks, dtype=np.int64)
+        if columns.blocks.size == 0 or keys.size == 0:
+            return (
+                np.zeros(keys.shape, dtype=np.int64),
+                np.zeros(keys.shape, dtype=bool),
+            )
+        rows = np.searchsorted(columns.blocks, keys)
+        rows = np.minimum(rows, columns.blocks.size - 1)
+        located = columns.blocks[rows] == keys
+        return rows, located

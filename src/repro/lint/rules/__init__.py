@@ -9,5 +9,6 @@ below.
 
 from repro.lint.rules import determinism  # noqa: F401
 from repro.lint.rules import exceptions  # noqa: F401
+from repro.lint.rules import hotpath  # noqa: F401
 from repro.lint.rules import layering  # noqa: F401
 from repro.lint.rules import seeds  # noqa: F401

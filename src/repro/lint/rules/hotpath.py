@@ -1,0 +1,178 @@
+"""Hot-path performance rules (family ``D11x``).
+
+Modules opt in with a ``# reprolint: hot-path`` comment (the vectorised
+scan engine, load weighting, the catchment maps).  In those files the
+rules police the per-element accumulation patterns the columnar layer
+exists to avoid: a dict or set growing one entry per loop iteration is
+a Python-speed scan over data that should be a ``bincount`` /
+``searchsorted`` / boolean-mask pass.  Deliberate reference
+implementations stay, marked ``# reprolint: disable=D110``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional, Set
+
+from repro.lint.rules.determinism import (
+    _annotation_head,
+    _scopes,
+    _violation,
+    _walk_scope,
+    _walk_statements,
+)
+from repro.lint.violations import LIBRARY, Violation, register_rule
+
+# Anchored to the start of a line: the tag is a whole-line comment, so
+# prose merely *mentioning* it (like this module's docstring) is inert.
+_HOT_PATH_RE = re.compile(r"^[ \t]*#\s*reprolint:\s*hot-path\b", re.MULTILINE)
+
+_DICT_FACTORIES = frozenset({"dict", "defaultdict", "Counter", "OrderedDict"})
+_SET_FACTORIES = frozenset({"set", "frozenset"})
+_DICT_ANNOTATIONS = frozenset(
+    {"dict", "Dict", "DefaultDict", "OrderedDict", "Counter", "MutableMapping"}
+)
+_SET_ANNOTATIONS = frozenset({"set", "Set", "MutableSet"})
+_DICT_GROW_METHODS = frozenset({"setdefault", "update"})
+_SET_GROW_METHODS = frozenset({"add", "update"})
+
+
+def _callee_simple_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _DictSetNames:
+    """Flow-insensitive inference of dict/set-typed names in one scope."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.dict_names: Set[str] = set()
+        self.set_names: Set[str] = set()
+        self._collect_params(scope)
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._record(target, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                self._record_annotation(node.target, node.annotation)
+                if node.value is not None:
+                    self._record(node.target, node.value)
+
+    def _collect_params(self, scope: ast.AST) -> None:
+        args = getattr(scope, "args", None)
+        if args is None:
+            return
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is not None:
+                self._record_annotation(ast.Name(id=arg.arg), arg.annotation)
+
+    def _record(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            self.dict_names.add(target.id)
+        elif isinstance(value, (ast.Set, ast.SetComp)):
+            self.set_names.add(target.id)
+        elif isinstance(value, ast.Call):
+            callee = _callee_simple_name(value.func)
+            if callee in _DICT_FACTORIES:
+                self.dict_names.add(target.id)
+            elif callee in _SET_FACTORIES:
+                self.set_names.add(target.id)
+
+    def _record_annotation(self, target: ast.AST, annotation: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        head = _annotation_head(annotation)
+        if head in _DICT_ANNOTATIONS:
+            self.dict_names.add(target.id)
+        elif head in _SET_ANNOTATIONS:
+            self.set_names.add(target.id)
+
+
+def _subscript_dict_target(node: ast.AST, dict_names: Set[str]) -> Optional[str]:
+    """Name of the dict a statement writes into via subscript, if any."""
+    target = None
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        target = node.target
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Name)
+        and target.value.id in dict_names
+    ):
+        return target.value.id
+    return None
+
+
+@register_rule
+class HotLoopAccumulationRule:
+    """D110: per-element dict/set accumulation inside a hot-path loop."""
+
+    rule_id = "D110"
+    name = "hot-loop-accumulation"
+    description = (
+        "in modules tagged '# reprolint: hot-path', growing a dict or set "
+        "one element per for-loop iteration is a Python-speed pass over "
+        "columnar data; use bincount/searchsorted/np.add.at (or mark a "
+        "deliberate reference path with 'reprolint: disable=D110')"
+    )
+    scope = "file"
+    kinds = (LIBRARY,)
+
+    def check(self, files) -> Iterable[Violation]:
+        source = files[0]
+        if not _HOT_PATH_RE.search(source.text):
+            return
+        for scope in _scopes(source.tree):
+            names = _DictSetNames(scope)
+            if not names.dict_names and not names.set_names:
+                continue
+            seen: Set[int] = set()
+            for node in _walk_scope(scope):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                for stmt in _walk_statements(node.body + node.orelse):
+                    if id(stmt) in seen:
+                        continue
+                    message = self._accumulation_message(stmt, names)
+                    if message is not None:
+                        seen.add(id(stmt))
+                        yield _violation(self, source, stmt, message)
+
+    def _accumulation_message(
+        self, stmt: ast.AST, names: _DictSetNames
+    ) -> Optional[str]:
+        dict_name = _subscript_dict_target(stmt, names.dict_names)
+        if dict_name is not None:
+            return (
+                f"dict {dict_name!r} accumulates one entry per loop "
+                "iteration in a hot-path module; replace the loop with a "
+                "vectorised pass (e.g. np.bincount / np.add.at)"
+            )
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and isinstance(stmt.value.func.value, ast.Name)
+        ):
+            owner = stmt.value.func.value.id
+            method = stmt.value.func.attr
+            if owner in names.dict_names and method in _DICT_GROW_METHODS:
+                return (
+                    f"dict {owner!r}.{method}() grows per loop iteration in "
+                    "a hot-path module; batch the updates with array "
+                    "operations"
+                )
+            if owner in names.set_names and method in _SET_GROW_METHODS:
+                return (
+                    f"set {owner!r}.{method}() grows per loop iteration in "
+                    "a hot-path module; use np.unique / boolean masks over "
+                    "arrays instead"
+                )
+        return None

@@ -25,6 +25,7 @@ class LoadEstimate:
         self.source = load
         self._daily = load.daily_of_kind(kind)
         self._row_of = load.row_of
+        self._hourly_matrix: "np.ndarray | None" = None
 
     def __len__(self) -> int:
         return len(self.source)
@@ -54,6 +55,24 @@ class LoadEstimate:
         elif self.kind == LoadKind.ALL_REPLIES:
             scale = float(self.source.reply_fraction[row])
         return self.source.queries[row] * scale
+
+    def hourly_matrix(self) -> np.ndarray:
+        """Hourly load of every block at once, rows aligned with :attr:`blocks`.
+
+        Row ``r`` equals ``hourly_of_block(blocks[r])`` bit-for-bit: the
+        per-kind scale is applied as the same elementwise float64
+        multiply the scalar path performs.  The matrix is computed once
+        and cached — one estimate typically weights many scan rounds.
+        """
+        if self._hourly_matrix is None:
+            queries = self.source.queries
+            if self.kind == LoadKind.GOOD_REPLIES:
+                self._hourly_matrix = queries * self.source.good_fraction[:, None]
+            elif self.kind == LoadKind.ALL_REPLIES:
+                self._hourly_matrix = queries * self.source.reply_fraction[:, None]
+            else:
+                self._hourly_matrix = queries
+        return self._hourly_matrix
 
     def heaviest(self, count: int) -> List[Tuple[int, float]]:
         """Heaviest ``count`` blocks as ``(block, daily load)``.

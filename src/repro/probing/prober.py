@@ -97,15 +97,20 @@ class ProbeSchedule:
         concentrates each second's probes in one prefix; the Feistel
         order spreads them (exercised by the ablation benchmark).
         """
+        interval = 1.0 / self._config.rate_pps
+        shift = 32 - prefix_bits
         per_second_prefix: dict = {}
         worst = (0, 0)
-        for probe in self:
-            second = int(probe.send_time)
-            prefix = probe.destination >> (32 - prefix_bits)
+        # Walk the permutation directly — same positions, same arithmetic —
+        # without materialising a ScheduledProbe per target.
+        for position, target_index in enumerate(self._order):
+            second = int(self.start_time + position * interval)
+            prefix = self._hitlist[target_index].address >> shift
             key = (second, prefix)
-            per_second_prefix[key] = per_second_prefix.get(key, 0) + 1
-            if per_second_prefix[key] > worst[1]:
-                worst = (prefix, per_second_prefix[key])
+            tally = per_second_prefix.get(key, 0) + 1
+            per_second_prefix[key] = tally
+            if tally > worst[1]:
+                worst = (prefix, tally)
         return worst
 
 

@@ -80,6 +80,45 @@ def mix64_np(values):
     return z ^ (z >> np.uint64(31))
 
 
+def _absorb_np(h, components):
+    """Fold ``components`` into hash state ``h`` (uniform_unit's chain)."""
+    import numpy as np
+
+    for component in components:
+        if isinstance(component, int):
+            mixed = np.uint64(mix64(component))
+        else:
+            mixed = mix64_np(np.asarray(component, dtype=np.uint64))
+        h = mix64_np(h ^ mixed)
+    return h
+
+
+def hash_prefix_np(seed: int, *components):
+    """Hash state of :func:`uniform_unit_np` after absorbing ``components``.
+
+    Lets hot loops precompute the round-invariant part of a draw (seed,
+    salt, block array) once and finish each round with
+    :func:`uniform_from_prefix_np` — one array pass instead of three.
+    """
+    import numpy as np
+
+    return _absorb_np(
+        mix64_np(np.array(seed & _MASK64, dtype=np.uint64)), components
+    )
+
+
+def uniform_from_prefix_np(prefix, *components):
+    """Finish a draw started by :func:`hash_prefix_np`.
+
+    ``uniform_from_prefix_np(hash_prefix_np(seed, a, b), c)`` is
+    bit-identical to ``uniform_unit_np(seed, a, b, c)``.
+    """
+    import numpy as np
+
+    h = _absorb_np(prefix, components)
+    return (h >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
 def uniform_unit_np(seed: int, *components):
     """Vectorised :func:`uniform_unit`.
 
@@ -87,16 +126,7 @@ def uniform_unit_np(seed: int, *components):
     broadcast.  Returns a float64 array in [0, 1) whose entries equal
     the scalar ``uniform_unit`` for the same component tuples.
     """
-    import numpy as np
-
-    h = mix64_np(np.array(seed & ((1 << 64) - 1), dtype=np.uint64))
-    for component in components:
-        if isinstance(component, int):
-            mixed = np.uint64(mix64(component))
-        else:
-            mixed = mix64_np(np.asarray(component, dtype=np.uint64))
-        h = mix64_np(h ^ mixed)
-    return (h >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+    return uniform_from_prefix_np(hash_prefix_np(seed), *components)
 
 
 def uniform_unit(seed: int, *components: int) -> float:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.geo.geodb import GeoDatabase
 from repro.netaddr.trie import LongestPrefixTrie
@@ -48,6 +50,7 @@ class Internet:
         for block in self._blocks:
             asn = block_assignment[block][0]
             self._blocks_by_asn.setdefault(asn, []).append(block)
+        self._block_table: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # -- blocks ---------------------------------------------------------
 
@@ -81,6 +84,51 @@ class Internet:
     def blocks_of_asn(self, asn: int) -> List[int]:
         """All populated blocks originated by ``asn``."""
         return self._blocks_by_asn.get(asn, [])
+
+    def block_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar ``(blocks, asns, pop_ids)`` view of the block assignment.
+
+        Blocks ascend; the arrays align row-for-row.  Built once and
+        cached — the assignment is immutable after construction — so
+        vectorised consumers (the fast scan engine, bulk AS lookups)
+        join against it with ``searchsorted`` instead of per-block dict
+        probes.
+        """
+        if self._block_table is None:
+            count = len(self._blocks)
+            blocks = np.asarray(self._blocks, dtype=np.int64)
+            asns = np.fromiter(
+                (self._block_assignment[block][0] for block in self._blocks),
+                dtype=np.int64,
+                count=count,
+            )
+            pop_ids = np.fromiter(
+                (self._block_assignment[block][1] for block in self._blocks),
+                dtype=np.int64,
+                count=count,
+            )
+            self._block_table = (blocks, asns, pop_ids)
+        return self._block_table
+
+    def asns_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Origin AS of each of ``blocks`` (vectorised ``asn_of_block``).
+
+        Raises :class:`~repro.errors.TopologyError` if any block is not
+        populated, mirroring the scalar lookup.
+        """
+        table_blocks, table_asns, _ = self.block_table()
+        keys = np.asarray(blocks, dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        pos = np.searchsorted(table_blocks, keys)
+        pos_clamped = np.minimum(pos, max(table_blocks.size - 1, 0))
+        found = (
+            (table_blocks.size > 0) & (table_blocks[pos_clamped] == keys)
+        )
+        if not np.all(found):
+            missing = int(keys[~found][0])
+            raise TopologyError(f"block {missing} is not populated")
+        return table_asns[pos_clamped]
 
     def country_of_block(self, block: int) -> Optional[str]:
         """Country code of ``block`` from the geolocation DB (or None)."""

@@ -1,0 +1,26 @@
+"""Fixture: D110 — per-element dict/set growth in a hot-path module."""
+# reprolint: hot-path
+
+from typing import Dict, List, Set
+
+
+def tally_sites(sites: List[str]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for site in sites:
+        counts[site] = counts.get(site, 0) + 1  # MARK
+    return counts
+
+
+def flipping_blocks(blocks: List[int]) -> Set[int]:
+    seen = set()
+    for block in blocks:
+        seen.add(block)  # MARK
+    return seen
+
+
+def reference_tally(sites: List[str]) -> Dict[str, int]:
+    """A sanctioned reference path: the disable comment silences D110."""
+    counts: Dict[str, int] = {}
+    for site in sites:
+        counts[site] = counts.get(site, 0) + 1  # reprolint: disable=D110
+    return counts

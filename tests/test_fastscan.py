@@ -6,6 +6,8 @@ import math
 
 import pytest
 
+from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
+from repro.collector.results import BlockValueMap
 from repro.core.experiments import run_stability_series
 from repro.core.fastscan import FastScanEngine, _VectorPermutation
 from repro.probing.order import PseudorandomOrder
@@ -66,3 +68,85 @@ class TestEquivalence:
         fast = engine.run_scan(round_id=2)
         assert dict(wire.catchment.items()) == dict(fast.catchment.items())
         assert wire.stats == fast.stats
+
+
+class TestColumnarResults:
+    def test_columnar_flag_flips_result_types(
+        self, broot_verfploeter, broot_routing, engine
+    ):
+        dict_engine = FastScanEngine(
+            broot_verfploeter, broot_routing, columnar=False
+        )
+        fast = engine.run_scan(round_id=3)
+        reference = dict_engine.run_scan(round_id=3)
+        assert isinstance(fast.catchment, ArrayCatchmentMap)
+        assert isinstance(fast.rtts, BlockValueMap)
+        assert isinstance(reference.catchment, CatchmentMap)
+        assert not isinstance(reference.catchment, ArrayCatchmentMap)
+        assert isinstance(reference.rtts, dict)
+
+    def test_columnar_equals_dict_engine_exactly(
+        self, broot_verfploeter, broot_routing, engine
+    ):
+        dict_engine = FastScanEngine(
+            broot_verfploeter, broot_routing, columnar=False
+        )
+        for round_id in (0, 5):
+            fast = engine.run_scan(round_id=round_id)
+            reference = dict_engine.run_scan(round_id=round_id)
+            assert fast.stats == reference.stats
+            assert dict(fast.catchment.items()) == dict(
+                reference.catchment.items()
+            )
+            assert dict(fast.rtts.items()) == reference.rtts
+
+    def test_series_shares_one_universe(self, engine):
+        scans = engine.run_series(rounds=3)
+        universes = [scan.catchment.universe for scan in scans]
+        assert all(universe is universes[0] for universe in universes)
+
+    def test_parallel_series_equals_serial(self, engine):
+        serial = engine.run_series(rounds=4, interval_seconds=50.0)
+        threaded = engine.run_series(rounds=4, interval_seconds=50.0, parallel=4)
+        assert [scan.dataset_id for scan in threaded] == [
+            scan.dataset_id for scan in serial
+        ]
+        for a, b in zip(serial, threaded):
+            assert a.stats == b.stats
+            assert dict(a.catchment.items()) == dict(b.catchment.items())
+            assert dict(a.rtts.items()) == dict(b.rtts.items())
+
+    def test_parallel_stability_series_equals_serial(self, broot_verfploeter):
+        serial = run_stability_series(broot_verfploeter, rounds=4, fast=True)
+        threaded = run_stability_series(
+            broot_verfploeter, rounds=4, fast=True, parallel=4
+        )
+        assert serial.flip_counts == threaded.flip_counts
+        assert serial.rounds == threaded.rounds
+
+    def test_median_rtt_fast_path_agrees(self, broot_verfploeter, engine):
+        fast = engine.run_scan(round_id=1)
+        reference_rtts = dict(fast.rtts.items())
+        reference_catchment = fast.catchment.to_reference()
+        for code in broot_verfploeter.service.site_codes:
+            expected_values = sorted(
+                rtt
+                for block, rtt in reference_rtts.items()
+                if reference_catchment.site_of(block) == code
+            )
+            expected = (
+                expected_values[len(expected_values) // 2]
+                if expected_values
+                else None
+            )
+            assert fast.median_rtt_of_site(code) == expected
+        assert fast.median_rtt_of_site("NOPE") is None
+
+    def test_fast_engine_convenience(self, broot_verfploeter, broot_routing):
+        engine = broot_verfploeter.fast_engine(routing=broot_routing)
+        assert isinstance(engine, FastScanEngine)
+        assert engine.columnar
+        reference = broot_verfploeter.fast_engine(
+            routing=broot_routing, columnar=False
+        )
+        assert not reference.columnar

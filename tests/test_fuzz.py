@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.anycast.catchment import CatchmentMap
+from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
 from repro.collector.cleaning import clean_replies
 from repro.dns.message import DnsMessage, decode_name
 from repro.errors import DNSError, PacketError, ReproError
@@ -117,6 +117,26 @@ class TestCatchmentProperties:
         earlier, _ = pair
         if len(earlier):
             assert sum(earlier.fractions().values()) == pytest.approx(1.0)
+
+    @settings(max_examples=60)
+    @given(catchment_pairs())
+    def test_array_map_equivalent_to_dict_map(self, pair):
+        """Columnar maps agree with the dict reference on arbitrary input,
+        including diff counts, flipped-block ordering, and mixed-type diffs."""
+        earlier, later = pair
+        a_earlier = ArrayCatchmentMap.from_mapping(
+            earlier.site_codes, dict(earlier.items())
+        )
+        a_later = ArrayCatchmentMap.from_mapping(
+            later.site_codes, dict(later.items())
+        )
+        assert dict(a_earlier.items()) == dict(earlier.items())
+        assert a_earlier.counts() == earlier.counts()
+        assert a_earlier.fractions() == earlier.fractions()
+        reference = earlier.diff(later)
+        assert a_earlier.diff(a_later) == reference
+        assert a_earlier.diff(later) == reference
+        assert earlier.diff(a_later) == reference
 
 
 @st.composite

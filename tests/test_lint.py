@@ -27,6 +27,7 @@ FIXTURE_EXPECTATIONS = [
     ("d107_set_order.py", "D107", "# MARK", 1),
     ("d108_set_pop.py", "D108", "# MARK", 1),
     ("d109_instance_default.py", "D109", "# MARK", 2),  # call + literal
+    ("d110_hot_loop_accumulation.py", "D110", "# MARK", 2),  # dict + set; disabled line exempt
     ("s201_duplicate_label.py", "S201", "# MARK", 2),  # both sites flagged
     ("s202_colliding_label.py", "S202", "# MARK", 1),
     ("e301_foreign_raise.py", "E301", "# MARK", 1),
@@ -105,6 +106,17 @@ def test_suppression_is_line_and_rule_scoped():
     # ... and the same code in a fixture without the comment is caught.
     bad = os.path.join(FIXTURES, "d101_global_random.py")
     assert not lint_paths([bad], force_kind="library", rule_ids=["D101"]).ok
+
+
+def test_d110_requires_hot_path_tag(tmp_path):
+    """The same accumulation loop in an untagged file passes D110."""
+    tagged = os.path.join(FIXTURES, "d110_hot_loop_accumulation.py")
+    with open(tagged, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    untagged = tmp_path / "cold_module.py"
+    untagged.write_text(text.replace("# reprolint: hot-path", ""), encoding="utf-8")
+    result = lint_paths([str(untagged)], force_kind="library", rule_ids=["D110"])
+    assert result.ok, result.to_text()
 
 
 def test_fixture_corpus_is_skipped_when_walking_tests():
