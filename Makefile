@@ -1,6 +1,6 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint bench bench-delta bench-columnar examples report all
+.PHONY: install test lint bench bench-delta bench-columnar bench-obs docs examples report all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -25,10 +25,20 @@ bench-delta:
 bench-columnar:
 	pytest benchmarks/bench_extension_columnar_scan.py --benchmark-only -s
 
+# Regenerate the observability-overhead baseline (BENCH_observability.json).
+bench-obs:
+	pytest benchmarks/bench_extension_observability.py --benchmark-only -s
+
+# Documentation gate: every intra-repo markdown link resolves, and the
+# README quickstart (observer included) still runs end to end.
+docs:
+	python tools/checkdocs.py
+	PYTHONPATH=src python examples/quickstart.py > /dev/null
+
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script > /dev/null || exit 1; done
 
 report:
 	python -m repro paper --scenario broot --scale small --outdir repro-report
 
-all: lint test bench
+all: lint docs test bench

@@ -27,6 +27,7 @@ from repro.core.scenarios import tangled_like
 from repro.core.verfploeter import Verfploeter
 from repro.load.estimator import LoadEstimate
 from repro.load.weighting import UNKNOWN, weight_catchment
+from repro.obs import run_metadata
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_columnar_scan.json")
@@ -128,6 +129,13 @@ def test_extension_columnar_scan(benchmark):
         else float("inf")
     )
     payload = {
+        # Same identity block as the reporting sidecars: BENCH timings
+        # and trace/metrics JSON of one seeded run join by fingerprint.
+        "meta": run_metadata(
+            scenario=scenario.name,
+            scale=scenario.scale,
+            seed=scenario.internet.seed,
+        ),
         "scale": BENCH_SCALE,
         "rounds": ROUNDS,
         "blocks": len(verfploeter.hitlist),

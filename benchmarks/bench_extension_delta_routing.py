@@ -19,6 +19,7 @@ from repro.bgp.cache import RoutingCache
 from repro.bgp.delta import DeltaPropagator
 from repro.bgp.propagation import compute_routes
 from repro.core.experiments import BROOT_PREPEND_CONFIGS
+from repro.obs import run_metadata
 
 from conftest import BENCH_SCALE
 
@@ -91,6 +92,13 @@ def test_extension_delta_routing(benchmark, broot):
         full_seconds / cached_seconds if cached_seconds else float("inf")
     )
     payload = {
+        # Same identity block as the reporting sidecars: BENCH timings
+        # and trace/metrics JSON of one seeded run join by fingerprint.
+        "meta": run_metadata(
+            scenario=broot.name,
+            scale=broot.scale,
+            seed=internet.seed,
+        ),
         "scale": BENCH_SCALE,
         "configs": [label for label, _ in BROOT_PREPEND_CONFIGS],
         "full_seconds": round(full_seconds, 4),

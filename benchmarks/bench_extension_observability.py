@@ -1,0 +1,158 @@
+"""Extension: observability overhead and artifact determinism.
+
+The whole pipeline is instrumented through ``repro.obs`` observers, and
+every instrumented call site defaults to the shared ``NULL_OBSERVER``.
+That default must be free: this bench times the vectorised scan under
+the null observer against a collecting one, micro-times the null
+primitives themselves, and bounds the *disabled* instrumentation cost
+of a round — null-call cost x calls per round — at under 2% of the
+round's runtime.  It also proves the enabled path's artifacts are
+deterministic: two same-seed collecting runs emit byte-identical trace
+and metrics JSON.  Timings land in ``BENCH_observability.json`` at the
+repo root, carrying the same run-metadata block as the trace/metrics
+sidecars so all artifacts of one seeded run join by fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.fastscan import FastScanEngine
+from repro.core.scenarios import tangled_like
+from repro.core.verfploeter import Verfploeter
+from repro.obs import NULL_OBSERVER, Observer, run_metadata
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_observability.json")
+
+BENCH_SCALE = "medium"
+
+#: Disabled instrumentation may cost at most this fraction of a round.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Null observer calls a fastscan round makes (span + profile + six
+#: counters); generous so the bound stays conservative as sites grow.
+NULL_CALLS_PER_ROUND = 32
+
+MICRO_ITERATIONS = 100_000
+
+
+def _best_of(runner, repeats: int = 3):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _null_call_seconds() -> float:
+    """Per-call cost of one null span + one null counter increment."""
+    tracer = NULL_OBSERVER.tracer
+    metrics = NULL_OBSERVER.metrics
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with tracer.span("probe"):
+            pass
+        metrics.counter("probe").inc()
+    return (time.perf_counter() - start) / MICRO_ITERATIONS
+
+
+def _collected_artifacts(scale: str):
+    """(trace JSON, metrics JSON) of one fresh seeded collecting run."""
+    scenario = tangled_like(scale=scale)
+    observer = Observer.collecting()
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
+    engine = FastScanEngine(verfploeter)
+    engine.run_scan(round_id=0)
+    meta = run_metadata(
+        scenario=scenario.name,
+        scale=scenario.scale,
+        seed=scenario.internet.seed,
+    )
+    return observer.tracer.to_json(meta=meta), observer.metrics.to_json(
+        meta=meta
+    )
+
+
+def test_extension_observability(benchmark):
+    scenario = tangled_like(scale=BENCH_SCALE)
+
+    # -- end-to-end: the same engine under null vs collecting observers --
+    def scan_with(observer):
+        verfploeter = Verfploeter(
+            scenario.internet, scenario.service, observer=observer
+        )
+        engine = FastScanEngine(verfploeter)
+        return engine.run_scan(round_id=0)
+
+    null_seconds, null_scan = _best_of(lambda: scan_with(NULL_OBSERVER))
+    collecting_seconds, collected_scan = _best_of(
+        lambda: scan_with(Observer.collecting())
+    )
+    # Observation must not change the measurement.
+    assert null_scan.stats == collected_scan.stats
+    assert dict(null_scan.catchment.items()) == dict(
+        collected_scan.catchment.items()
+    )
+
+    # -- the disabled-path bound: null calls are too cheap to matter ----
+    per_call = _null_call_seconds()
+    disabled_cost = per_call * NULL_CALLS_PER_ROUND
+    disabled_fraction = disabled_cost / null_seconds
+    assert disabled_fraction < MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation costs {disabled_fraction:.2%} of a "
+        f"round (limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+    # -- determinism: two same-seed collecting runs, identical bytes ----
+    assert _collected_artifacts("tiny") == _collected_artifacts("tiny")
+
+    enabled_overhead = (
+        (collecting_seconds - null_seconds) / null_seconds
+        if null_seconds
+        else 0.0
+    )
+    payload = {
+        # Same identity block as the reporting sidecars: BENCH timings
+        # and trace/metrics JSON of one seeded run join by fingerprint.
+        "meta": run_metadata(
+            scenario=scenario.name,
+            scale=scenario.scale,
+            seed=scenario.internet.seed,
+        ),
+        "scale": BENCH_SCALE,
+        "scan_null_seconds": round(null_seconds, 4),
+        "scan_collecting_seconds": round(collecting_seconds, 4),
+        "enabled_overhead_fraction": round(enabled_overhead, 4),
+        "null_call_nanoseconds": round(per_call * 1e9, 1),
+        "disabled_overhead_fraction": round(disabled_fraction, 6),
+        "artifacts_deterministic": True,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print()
+    print(f"observability overhead, scale={BENCH_SCALE}:")
+    print(
+        f"  scan  null {null_seconds:8.4f} s   "
+        f"collecting {collecting_seconds:8.4f} s   "
+        f"(+{enabled_overhead:.1%} when on)"
+    )
+    print(
+        f"  null primitive {per_call * 1e9:6.0f} ns/call -> "
+        f"{disabled_fraction:.4%} of a round when off "
+        f"(limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    print(f"  (recorded in {os.path.basename(RESULT_PATH)})")
+
+    benchmark.pedantic(
+        lambda: scan_with(NULL_OBSERVER), rounds=1, iterations=1
+    )

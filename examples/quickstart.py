@@ -2,15 +2,16 @@
 """Quickstart: map an anycast service's catchments with Verfploeter.
 
 Builds the B-Root-like scenario (synthetic Internet + two-site anycast
-deployment), runs one Verfploeter measurement round, and prints the
-catchment split, the scan statistics, and an ASCII coverage map.
+deployment), runs one Verfploeter measurement round under a collecting
+observer, and prints the catchment split, the scan statistics, the
+pipeline's own metrics table, and an ASCII coverage map.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import Verfploeter, broot_like
+from repro import Observer, Verfploeter, broot_like
 from repro.analysis.maps import catchment_grid, render_ascii_map
 
 
@@ -24,8 +25,13 @@ def main() -> None:
 
     # Deploy Verfploeter on the service and run one measurement round:
     # one ICMP echo request per /24 from the anycast measurement
-    # address; replies land at the BGP-selected site.
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    # address; replies land at the BGP-selected site.  The observer
+    # records spans and metrics along the way (docs/observability.md);
+    # it is off by default and costs nothing when omitted.
+    observer = Observer.collecting()
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     scan = verfploeter.run_scan(dataset_id="quickstart")
 
     stats = scan.stats
@@ -41,6 +47,11 @@ def main() -> None:
     print("\ncatchment split (fraction of mapped /24s):")
     for site, fraction in sorted(scan.catchment.fractions().items()):
         print(f"  {site}: {fraction:.1%}")
+
+    # What the pipeline observed about itself: probes scheduled,
+    # replies by cleaning verdict, per-site capture counts.
+    print()
+    print(observer.metrics.render_text(title="pipeline metrics"))
 
     print("\ncoverage map (dominant site per 4-degree cell):")
     grid = catchment_grid(scan.catchment, scenario.internet.geodb, 4.0)

@@ -31,6 +31,7 @@ from repro.core import (
 from repro.core.scenarios import cdn_like
 from repro.errors import ReproError
 from repro.load import LoadEstimate, weight_catchment
+from repro.obs import NULL_OBSERVER, Observer
 from repro.topology import Internet, TopologyConfig, build_internet
 from repro.traffic import DayLoad, LoadKind, build_day_load
 
@@ -62,4 +63,6 @@ __all__ = [
     "build_day_load",
     "LoadEstimate",
     "weight_catchment",
+    "Observer",
+    "NULL_OBSERVER",
 ]

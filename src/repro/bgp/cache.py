@@ -33,6 +33,7 @@ from repro.bgp.propagation import (
     compute_routes,
 )
 from repro.errors import ConfigurationError
+from repro.obs import NULL_OBSERVER, Observer
 from repro.topology.internet import Internet
 
 
@@ -86,11 +87,14 @@ class _Entry:
 class RoutingCache:
     """LRU cache of routing outcomes with delta-based miss handling."""
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(
+        self, maxsize: int = 64, observer: Optional[Observer] = None
+    ) -> None:
         if maxsize < 1:
             raise ConfigurationError("cache maxsize must be >= 1")
         self.maxsize = maxsize
         self.stats = CacheStats()
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -144,24 +148,31 @@ class RoutingCache:
         resolved_flip = flip_model or FlipModel(internet.seed)
         flip_fp = resolved_flip.fingerprint()
         key = self._key(internet, policy, resolved_config, flip_fp)
+        observer = self.observer
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                observer.metrics.counter("routing.cache.hits").inc()
                 return entry.outcome
             baseline = self._find_baseline(internet, resolved_config, flip_fp)
         # Propagation runs outside the lock: concurrent misses for the
         # same key both compute, but results are deterministic and
         # identical, so whichever insert wins is indistinguishable.
         if baseline is not None:
-            outcome = DeltaPropagator(baseline).propagate(policy)
+            with observer.tracer.span("bgp.propagate.delta"):
+                outcome = DeltaPropagator(baseline).propagate(policy)
+            observer.metrics.counter("routing.cache.delta_computes").inc()
             with self._lock:
                 self.stats.delta_computes += 1
         else:
-            outcome = compute_routes(
-                internet, policy, flip_model=resolved_flip, config=resolved_config
-            )
+            with observer.tracer.span("bgp.propagate.full"):
+                outcome = compute_routes(
+                    internet, policy, flip_model=resolved_flip,
+                    config=resolved_config,
+                )
+            observer.metrics.counter("routing.cache.full_computes").inc()
             with self._lock:
                 self.stats.full_computes += 1
         with self._lock:
@@ -170,6 +181,7 @@ class RoutingCache:
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+                    observer.metrics.counter("routing.cache.evictions").inc()
             else:
                 self._entries.move_to_end(key)
             return self._entries[key].outcome

@@ -19,6 +19,7 @@ from repro.analysis.maps import catchment_grid, load_grid, render_ascii_map
 from repro.analysis.placement import rtt_summary_by_site, suggest_sites
 from repro.analysis.prepend import format_prepend_table
 from repro.analysis.report import render_table
+from repro.bgp.cache import RoutingCache
 from repro.core.comparison import compare_coverage
 from repro.core.experiments import (
     prepend_sweep,
@@ -30,6 +31,7 @@ from repro.core.verfploeter import Verfploeter
 from repro.datasets import write_scan
 from repro.load.estimator import LoadEstimate
 from repro.load.rssac import build_rssac_report
+from repro.obs import NULL_OBSERVER, Observer, run_metadata
 
 _SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "broot": broot_like,
@@ -60,11 +62,69 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=None,
         help="override the scenario's default seed",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write pipeline metrics as JSON to FILE",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the pipeline trace as JSON to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="time the instrumented hot paths and print a profile",
+    )
+
+
+def _observer_for(args: argparse.Namespace) -> Observer:
+    """The observer this invocation runs under.
+
+    Tests inject one via ``main(argv, observer=...)``; otherwise any of
+    the ``--metrics-out``/``--trace-out``/``--profile`` flags switches
+    on a collecting observer, and the default stays the shared no-op.
+    """
+    injected = getattr(args, "observer", None)
+    if injected is not None:
+        return injected
+    if args.metrics_out or args.trace_out or args.profile:
+        return Observer.collecting(profile=args.profile)
+    return NULL_OBSERVER
+
+
+def _emit_observability(
+    args: argparse.Namespace, observer: Observer, scenario: Scenario
+) -> None:
+    """Write the requested metrics/trace artifacts and print the profile.
+
+    Both artifacts embed the shared run-metadata block (scenario, scale,
+    seed, fingerprint) so they are joinable with each other and with the
+    ``BENCH_*.json`` baselines offline.
+    """
+    if observer is NULL_OBSERVER or not observer.enabled:
+        return
+    meta = run_metadata(
+        scenario=args.scenario,
+        scale=args.scale,
+        seed=scenario.internet.seed,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(observer.metrics.to_json(meta=meta) + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            stream.write(observer.tracer.to_json(meta=meta) + "\n")
+        print(f"wrote trace to {args.trace_out}")
+    if observer.profiler is not None:
+        print(observer.profiler.report())
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     scan = verfploeter.run_scan(dataset_id="cli-scan", wire_level=False)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:
@@ -96,52 +156,77 @@ def _cmd_scan(args: argparse.Namespace) -> int:
              for site, (blocks, median) in sorted(summary.items())],
             title="latency",
         ))
+    if observer.enabled:
+        print(observer.metrics.render_text(title="pipeline metrics"))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
+    # A fresh per-invocation cache keeps repeated same-seed invocations
+    # byte-identical in their hit/miss counters (the process-wide
+    # default cache would serve the second invocation from memory).
+    cache = RoutingCache(observer=observer)
     site = args.site or scenario.service.site_codes[0]
     if args.scenario != "broot":
         configs = [("equal", {})] + [
             (f"+{n} {site}", {site: n}) for n in range(1, 4)
         ]
-        sweep = prepend_sweep(verfploeter, scenario.atlas, configs=configs)
+        sweep = prepend_sweep(
+            verfploeter, scenario.atlas, configs=configs, cache=cache
+        )
     else:
-        sweep = prepend_sweep(verfploeter, scenario.atlas)
+        sweep = prepend_sweep(verfploeter, scenario.atlas, cache=cache)
         site = "LAX"
     print(format_prepend_table(sweep, site))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_stability(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     series = run_stability_series(
-        verfploeter, rounds=args.rounds, interval_seconds=900.0
+        verfploeter, rounds=args.rounds, interval_seconds=900.0,
+        cache=RoutingCache(observer=observer),
     )
     print(format_stability_table(series, every=max(1, args.rounds // 8)))
     print()
     print(format_flip_table(flip_table(series, scenario.internet)))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     routing = verfploeter.routing_for()
     scan = verfploeter.run_scan(routing=routing, wire_level=False)
     measurement = scenario.atlas.measure(routing, scenario.service)
     print(format_coverage_table(
         compare_coverage(measurement, scan, scenario.internet)
     ))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_loadmap(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     scan = verfploeter.run_scan(dataset_id="cli-loadmap", wire_level=False)
     estimate = LoadEstimate(scenario.day_load("cli-day"))
     grid = load_grid(scan.catchment, estimate, scenario.internet.geodb, 4.0)
@@ -152,15 +237,22 @@ def _cmd_loadmap(args: argparse.Namespace) -> int:
         [(site, f"{value / sum(totals.values()):.1%}")
          for site, value in sorted(totals.items())],
     ))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_failure(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     estimate = LoadEstimate(scenario.day_load("cli-day"))
     sites = [args.site] if args.site else None
-    results = site_failure_study(verfploeter, estimate, sites=sites)
+    results = site_failure_study(
+        verfploeter, estimate, sites=sites,
+        cache=RoutingCache(observer=observer),
+    )
     rows = []
     for result in results:
         worst_site, factor = result.worst_overload()
@@ -173,12 +265,16 @@ def _cmd_failure(args: argparse.Namespace) -> int:
         rows,
         title="site-failure what-if (load-weighted)",
     ))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     scan = verfploeter.run_scan(dataset_id="cli-suggest", wire_level=False)
     estimate = LoadEstimate(scenario.day_load("cli-day"))
     suggestions = suggest_sites(
@@ -195,16 +291,21 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
          for s in suggestions],
         title="suggested new site locations (from Verfploeter RTTs)",
     ))
+    _emit_observability(args, observer, scenario)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
     routing = verfploeter.routing_for()
     load = scenario.day_load("cli-report-day")
     report = build_rssac_report(scenario.service.name, load, routing)
     report.write(sys.stdout)
+    _emit_observability(args, observer, scenario)
     return 0
 
 
@@ -214,10 +315,13 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     from repro.reporting import generate_full_report
 
     scenario = _build_scenario(args)
+    observer = _observer_for(args)
     report_path = generate_full_report(
-        scenario, Path(args.outdir), stability_rounds=args.rounds
+        scenario, Path(args.outdir), stability_rounds=args.rounds,
+        observer=observer,
     )
     print(f"wrote {report_path}")
+    _emit_observability(args, observer, scenario)
     return 0
 
 
@@ -287,10 +391,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def main(
+    argv: Optional[List[str]] = None,
+    observer: Optional[Observer] = None,
+) -> int:
+    """CLI entry point; returns the process exit code.
+
+    ``observer`` lets callers (tests, embedding scripts) supply a
+    pre-built :class:`~repro.obs.Observer` and inspect its tracer and
+    metrics after the command returns, instead of round-tripping
+    through ``--metrics-out``/``--trace-out`` files.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if observer is not None:
+        args.observer = observer
     return args.handler(args)
 
 

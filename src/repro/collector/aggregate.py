@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.collector.capture import SiteCapture
 from repro.errors import MeasurementError
 from repro.icmp.network import DeliveredReply
+from repro.obs import NULL_OBSERVER, Observer
 
 
 class CentralCollector:
@@ -17,8 +18,13 @@ class CentralCollector:
     concurrently (a reply lands wherever BGP sends it).
     """
 
-    def __init__(self, captures: Iterable[SiteCapture]) -> None:
+    def __init__(
+        self,
+        captures: Iterable[SiteCapture],
+        observer: Optional[Observer] = None,
+    ) -> None:
         self._captures: Dict[str, SiteCapture] = {}
+        self._observer = observer if observer is not None else NULL_OBSERVER
         for capture in captures:
             if capture.site_code in self._captures:
                 raise MeasurementError(f"duplicate capture for {capture.site_code}")
@@ -43,16 +49,24 @@ class CentralCollector:
 
     def collect(self) -> List[DeliveredReply]:
         """Drain every site and merge, ordered by arrival time."""
-        merged: List[DeliveredReply] = []
-        for site_code in sorted(self._captures):
-            merged.extend(self._captures[site_code].drain())
-        merged.sort(
-            key=lambda reply: (
-                reply.timestamp,
-                reply.source_address,
-                reply.site_code,
-                reply.identifier,
-                reply.sequence,
+        observer = self._observer
+        with observer.tracer.span("collector.merge") as span:
+            merged: List[DeliveredReply] = []
+            for site_code in sorted(self._captures):
+                drained = self._captures[site_code].drain()
+                if observer.enabled:
+                    observer.metrics.counter(
+                        "collector.site_replies", site=site_code
+                    ).inc(len(drained))
+                merged.extend(drained)
+            merged.sort(
+                key=lambda reply: (
+                    reply.timestamp,
+                    reply.source_address,
+                    reply.site_code,
+                    reply.identifier,
+                    reply.sequence,
+                )
             )
-        )
+            span.set(replies=len(merged), sites=len(self._captures))
         return merged

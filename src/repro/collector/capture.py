@@ -44,6 +44,7 @@ class StreamingCapture(SiteCapture):
         self._buffer: List[DeliveredReply] = []
 
     def record(self, reply: DeliveredReply) -> None:
+        """Forward one reply to the sink (or buffer it when sinkless)."""
         if reply.site_code != self.site_code:
             raise MeasurementError(
                 f"capture at {self.site_code} received a reply for {reply.site_code}"
@@ -54,6 +55,7 @@ class StreamingCapture(SiteCapture):
             self._buffer.append(reply)
 
     def drain(self) -> List[DeliveredReply]:
+        """Hand over everything buffered since the last drain."""
         drained, self._buffer = self._buffer, []
         return drained
 
@@ -73,6 +75,7 @@ class LanderCapture(SiteCapture):
         self._bins: dict = {}
 
     def record(self, reply: DeliveredReply) -> None:
+        """File one reply into its fixed-length time bin."""
         if reply.site_code != self.site_code:
             raise MeasurementError(
                 f"capture at {self.site_code} received a reply for {reply.site_code}"
@@ -81,6 +84,7 @@ class LanderCapture(SiteCapture):
         self._bins.setdefault(bin_index, []).append(reply)
 
     def drain(self) -> List[DeliveredReply]:
+        """Hand over all bins, in time order, and reset them."""
         records = [
             reply
             for bin_index in sorted(self._bins)
@@ -102,6 +106,7 @@ class PcapLikeCapture(SiteCapture):
         self._stream = stream
 
     def record(self, reply: DeliveredReply) -> None:
+        """Serialise one reply onto the text stream."""
         if reply.site_code != self.site_code:
             raise MeasurementError(
                 f"capture at {self.site_code} received a reply for {reply.site_code}"
@@ -112,6 +117,7 @@ class PcapLikeCapture(SiteCapture):
         )
 
     def drain(self) -> List[DeliveredReply]:
+        """Parse the whole stream back into reply records."""
         self._stream.seek(0)
         records: List[DeliveredReply] = []
         for line_number, line in enumerate(self._stream, 1):

@@ -19,6 +19,7 @@ from typing import List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.icmp.network import DeliveredReply
+from repro.obs import NULL_OBSERVER, Observer
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ def clean_replies(
     round_identifier: int,
     round_start: float,
     config: Optional[CleaningConfig] = None,
+    observer: Optional[Observer] = None,
 ) -> CleaningResult:
     """Apply the paper's cleaning rules to a collected reply stream.
 
@@ -72,28 +74,38 @@ def clean_replies(
     """
     if config is None:
         config = CleaningConfig()
+    if observer is None:
+        observer = NULL_OBSERVER
     result = CleaningResult()
     seen: Set[int] = set()
-    # Full tuple key: equal-timestamp ties (possible when two sites log
-    # with coarse clocks) must not make the outcome input-order-dependent.
-    for reply in sorted(
-        replies,
-        key=lambda r: (
-            r.timestamp, r.source_address, r.site_code, r.identifier, r.sequence
-        ),
-    ):
-        if reply.identifier != (round_identifier & 0xFFFF):
-            result.wrong_round += 1
-            continue
-        if reply.source_address not in probed_addresses:
-            result.unsolicited += 1
-            continue
-        if reply.timestamp - round_start > config.late_cutoff_seconds:
-            result.late += 1
-            continue
-        if reply.source_address in seen:
-            result.duplicates += 1
-            continue
-        seen.add(reply.source_address)
-        result.kept.append(reply)
+    with observer.tracer.span("cleaning.pass") as span:
+        # Full tuple key: equal-timestamp ties (possible when two sites log
+        # with coarse clocks) must not make the outcome input-order-dependent.
+        for reply in sorted(
+            replies,
+            key=lambda r: (
+                r.timestamp, r.source_address, r.site_code, r.identifier, r.sequence
+            ),
+        ):
+            if reply.identifier != (round_identifier & 0xFFFF):
+                result.wrong_round += 1
+                continue
+            if reply.source_address not in probed_addresses:
+                result.unsolicited += 1
+                continue
+            if reply.timestamp - round_start > config.late_cutoff_seconds:
+                result.late += 1
+                continue
+            if reply.source_address in seen:
+                result.duplicates += 1
+                continue
+            seen.add(reply.source_address)
+            result.kept.append(reply)
+        span.set(total=result.total, kept=len(result.kept))
+    metrics = observer.metrics
+    metrics.counter("cleaning.kept").inc(len(result.kept))
+    metrics.counter("cleaning.dropped", rule="wrong_round").inc(result.wrong_round)
+    metrics.counter("cleaning.dropped", rule="unsolicited").inc(result.unsolicited)
+    metrics.counter("cleaning.dropped", rule="late").inc(result.late)
+    metrics.counter("cleaning.dropped", rule="duplicate").inc(result.duplicates)
     return result

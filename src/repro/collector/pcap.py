@@ -100,6 +100,7 @@ class PcapCapture(SiteCapture):
         self._writer = PcapWriter(stream)
 
     def record(self, reply: DeliveredReply) -> None:
+        """Re-encode one reply as a packet and append it to the pcap."""
         if reply.site_code != self.site_code:
             raise MeasurementError(
                 f"capture at {self.site_code} received a reply for {reply.site_code}"
@@ -113,6 +114,7 @@ class PcapCapture(SiteCapture):
         self._writer.write_packet(packet, reply.timestamp)
 
     def drain(self) -> List[DeliveredReply]:
+        """Parse the pcap back into reply records."""
         self._stream.seek(0)
         reader = PcapReader(self._stream)
         replies: List[DeliveredReply] = []

@@ -76,31 +76,38 @@ def prepend_sweep(
     """
     service = verfploeter.service
     internet = verfploeter.internet
+    observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
-    # Seed the unprepended baseline before fanning out so every variant
-    # finds a delta baseline instead of propagating from scratch.
-    routing_cache.get_or_compute(internet, service.default_policy())
+    with observer.tracer.span(
+        "experiment.prepend_sweep", configs=len(configs)
+    ):
+        # Seed the unprepended baseline before fanning out so every variant
+        # finds a delta baseline instead of propagating from scratch.
+        routing_cache.get_or_compute(internet, service.default_policy())
 
-    def measure_config(index: int) -> PrependMeasurement:
-        label, prepends = configs[index]
-        policy = service.policy(prepends=prepends)
-        routing = routing_cache.get_or_compute(internet, policy)
-        scan = verfploeter.run_scan(
-            routing=routing,
-            round_id=index,
-            dataset_id=f"prepend-{label.replace(' ', '')}",
-            wire_level=False,
-        )
-        atlas_measurement = atlas.measure(routing, service, measurement_id=index)
-        return PrependMeasurement(
-            label=label,
-            policy=policy,
-            atlas_fractions=atlas_measurement.fractions(),
-            verfploeter_fractions=scan.catchment.fractions(),
-            scan=scan,
-        )
+        def measure_config(index: int) -> PrependMeasurement:
+            label, prepends = configs[index]
+            with observer.tracer.span("prepend.config", label=label):
+                policy = service.policy(prepends=prepends)
+                routing = routing_cache.get_or_compute(internet, policy)
+                scan = verfploeter.run_scan(
+                    routing=routing,
+                    round_id=index,
+                    dataset_id=f"prepend-{label.replace(' ', '')}",
+                    wire_level=False,
+                )
+                atlas_measurement = atlas.measure(
+                    routing, service, measurement_id=index
+                )
+            return PrependMeasurement(
+                label=label,
+                policy=policy,
+                atlas_fractions=atlas_measurement.fractions(),
+                verfploeter_fractions=scan.catchment.fractions(),
+                scan=scan,
+            )
 
-    return _run_indexed(measure_config, len(configs), parallel)
+        return _run_indexed(measure_config, len(configs), parallel)
 
 
 def run_stability_series(
@@ -123,28 +130,32 @@ def run_stability_series(
     state).  The routing state is resolved through ``cache``, so a
     series over an already-studied policy skips propagation entirely.
     """
+    observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
-    routing = routing_cache.get_or_compute(
-        verfploeter.internet, policy or verfploeter.service.default_policy()
-    )
-    if fast:
-        from repro.core.fastscan import FastScanEngine
+    with observer.tracer.span(
+        "experiment.stability_series", rounds=rounds, fast=fast
+    ):
+        routing = routing_cache.get_or_compute(
+            verfploeter.internet, policy or verfploeter.service.default_policy()
+        )
+        if fast:
+            from repro.core.fastscan import FastScanEngine
 
-        engine = FastScanEngine(verfploeter, routing)
-        scans = engine.run_series(
-            rounds=rounds,
-            interval_seconds=interval_seconds,
-            dataset_prefix="stability",
-            parallel=parallel,
-        )
-    else:
-        scans = verfploeter.run_series(
-            routing=routing,
-            rounds=rounds,
-            interval_seconds=interval_seconds,
-            dataset_prefix="stability",
-        )
-    return build_stability_series(scans)
+            engine = FastScanEngine(verfploeter, routing)
+            scans = engine.run_series(
+                rounds=rounds,
+                interval_seconds=interval_seconds,
+                dataset_prefix="stability",
+                parallel=parallel,
+            )
+        else:
+            scans = verfploeter.run_series(
+                routing=routing,
+                rounds=rounds,
+                interval_seconds=interval_seconds,
+                dataset_prefix="stability",
+            )
+        return build_stability_series(scans)
 
 
 @dataclass(frozen=True)
@@ -202,44 +213,51 @@ def site_failure_study(
     """
     service = verfploeter.service
     internet = verfploeter.internet
+    observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
-    baseline_routing = routing_cache.get_or_compute(
-        internet, service.default_policy()
-    )
-    baseline_scan = verfploeter.run_scan(
-        routing=baseline_routing, dataset_id="failure-baseline",
-        wire_level=False,
-    )
-    baseline_load = weight_catchment(baseline_scan.catchment, estimate)
-    baseline = {
-        code: baseline_load.daily_of(code)
-        for code in (*service.site_codes, UNKNOWN)
-    }
-    study_sites = list(sites or service.site_codes)
-
-    def withdraw_site(index: int) -> SiteFailureResult:
-        site_code = study_sites[index]
-        policy = service.policy(withdrawn=[site_code])
-        routing = routing_cache.get_or_compute(internet, policy)
-        scan = verfploeter.run_scan(
-            routing=routing,
-            round_id=100 + index,
-            dataset_id=f"failure-{site_code}",
+    with observer.tracer.span("experiment.site_failure"):
+        baseline_routing = routing_cache.get_or_compute(
+            internet, service.default_policy()
+        )
+        baseline_scan = verfploeter.run_scan(
+            routing=baseline_routing, dataset_id="failure-baseline",
             wire_level=False,
         )
-        after_load = weight_catchment(scan.catchment, estimate)
-        after = {
-            code: after_load.daily_of(code)
+        baseline_load = weight_catchment(
+            baseline_scan.catchment, estimate, observer=observer
+        )
+        baseline = {
+            code: baseline_load.daily_of(code)
             for code in (*service.site_codes, UNKNOWN)
         }
-        return SiteFailureResult(
-            withdrawn_site=site_code,
-            baseline=baseline,
-            after=after,
-            scan=scan,
-        )
+        study_sites = list(sites or service.site_codes)
 
-    return _run_indexed(withdraw_site, len(study_sites), parallel)
+        def withdraw_site(index: int) -> SiteFailureResult:
+            site_code = study_sites[index]
+            with observer.tracer.span("failure.withdrawal", site=site_code):
+                policy = service.policy(withdrawn=[site_code])
+                routing = routing_cache.get_or_compute(internet, policy)
+                scan = verfploeter.run_scan(
+                    routing=routing,
+                    round_id=100 + index,
+                    dataset_id=f"failure-{site_code}",
+                    wire_level=False,
+                )
+                after_load = weight_catchment(
+                    scan.catchment, estimate, observer=observer
+                )
+            after = {
+                code: after_load.daily_of(code)
+                for code in (*service.site_codes, UNKNOWN)
+            }
+            return SiteFailureResult(
+                withdrawn_site=site_code,
+                baseline=baseline,
+                after=after,
+                scan=scan,
+            )
+
+        return _run_indexed(withdraw_site, len(study_sites), parallel)
 
 
 @dataclass(frozen=True)
@@ -279,30 +297,38 @@ def prediction_decay_study(
     from repro.load.prediction import measured_site_load
 
     service = verfploeter.service
+    observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
-    base_policy = service.default_policy()
-    base_routing = routing_cache.get_or_compute(
-        verfploeter.internet, base_policy, config=RoutingConfig(era=eras[0])
-    )
-    base_scan = verfploeter.run_scan(
-        routing=base_routing, dataset_id="decay-base", wire_level=False
-    )
-    base_estimate = LoadEstimate(day_load_builder(eras[0]))
-    prediction = weight_catchment(base_scan.catchment, base_estimate)
-    predicted = prediction.fractions()
-
-    points: List[DecayPoint] = []
-    for era in eras:
-        # Per-era RoutingConfig keys differ, so eras never delta into
-        # each other — but the first era is a cache hit (it is the
-        # prediction baseline computed above).
-        era_routing = routing_cache.get_or_compute(
-            verfploeter.internet, base_policy, config=RoutingConfig(era=era)
+    with observer.tracer.span(
+        "experiment.prediction_decay", eras=len(eras)
+    ):
+        base_policy = service.default_policy()
+        base_routing = routing_cache.get_or_compute(
+            verfploeter.internet, base_policy, config=RoutingConfig(era=eras[0])
         )
-        era_estimate = LoadEstimate(day_load_builder(era))
-        actual = measured_site_load(era_routing, era_estimate).fractions()
-        points.append(DecayPoint(era=era, predicted=predicted, actual=actual))
-    return points
+        base_scan = verfploeter.run_scan(
+            routing=base_routing, dataset_id="decay-base", wire_level=False
+        )
+        base_estimate = LoadEstimate(day_load_builder(eras[0]))
+        prediction = weight_catchment(
+            base_scan.catchment, base_estimate, observer=observer
+        )
+        predicted = prediction.fractions()
+
+        points: List[DecayPoint] = []
+        for era in eras:
+            # Per-era RoutingConfig keys differ, so eras never delta into
+            # each other — but the first era is a cache hit (it is the
+            # prediction baseline computed above).
+            era_routing = routing_cache.get_or_compute(
+                verfploeter.internet, base_policy, config=RoutingConfig(era=era)
+            )
+            era_estimate = LoadEstimate(day_load_builder(era))
+            actual = measured_site_load(era_routing, era_estimate).fractions()
+            points.append(
+                DecayPoint(era=era, predicted=predicted, actual=actual)
+            )
+        return points
 
 
 @dataclass(frozen=True)

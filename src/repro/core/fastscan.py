@@ -38,6 +38,7 @@ from repro.collector.results import BlockValueMap
 from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
 from repro.geo.distance import EARTH_RADIUS_KM
 from repro.icmp import latency as _latency
+from repro.obs import Observer
 from repro.rng import hash_prefix_np, uniform_from_prefix_np, uniform_unit_np
 from repro.topology import hosts as _hosts
 
@@ -92,10 +93,23 @@ class FastScanEngine:
         verfploeter: Verfploeter,
         routing: Optional[RoutingOutcome] = None,
         columnar: bool = True,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.verfploeter = verfploeter
+        self.observer = (
+            observer if observer is not None else verfploeter.observer
+        )
         self.routing = routing if routing is not None else verfploeter.routing_for()
         self.columnar = columnar
+        with self.observer.tracer.span(
+            "fastscan.precompute", columnar=columnar
+        ) as span:
+            with self.observer.profile("fastscan.precompute"):
+                self._precompute(verfploeter)
+            span.set(blocks=self._n, sites=len(self._site_codes))
+
+    def _precompute(self, verfploeter: Verfploeter) -> None:
+        """Build every round-invariant array (one pass per routing state)."""
         internet = verfploeter.internet
         self._seed = internet.seed
         self._host_config = internet.host_model.config
@@ -251,6 +265,41 @@ class FastScanEngine:
         dataset_id: Optional[str] = None,
     ) -> ScanResult:
         """One vectorised measurement round (equals ``Verfploeter.run_scan``)."""
+        with self.observer.tracer.span(
+            "fastscan.round", round_id=round_id
+        ) as span:
+            with self.observer.profile("fastscan.round"):
+                result = self._evaluate_round(round_id, start_time, dataset_id)
+            span.set(
+                probes_sent=result.stats.probes_sent,
+                replies_received=result.stats.replies_received,
+                kept=result.stats.kept,
+            )
+        metrics = self.observer.metrics
+        metrics.counter("probe.probes_sent").inc(result.stats.probes_sent)
+        metrics.counter("collector.replies_received").inc(
+            result.stats.replies_received
+        )
+        metrics.counter("cleaning.kept").inc(result.stats.kept)
+        metrics.counter("cleaning.dropped", rule="unsolicited").inc(
+            result.stats.unsolicited
+        )
+        metrics.counter("cleaning.dropped", rule="late").inc(result.stats.late)
+        metrics.counter("cleaning.dropped", rule="duplicate").inc(
+            result.stats.duplicates
+        )
+        if self.observer.enabled:
+            for code, fraction in sorted(result.catchment.fractions().items()):
+                metrics.gauge("catchment.fraction", site=code).set(fraction)
+        return result
+
+    def _evaluate_round(
+        self,
+        round_id: int,
+        start_time: float,
+        dataset_id: Optional[str],
+    ) -> ScanResult:
+        """The uninstrumented round evaluation (pure array passes)."""
         cfg = self._host_config
         blocks = self._blocks
         responds = self._stable & (
@@ -385,7 +434,10 @@ class FastScanEngine:
                 dataset_id=f"{dataset_prefix}-r{round_id:03d}",
             )
 
-        if parallel > 1 and rounds > 1:
-            with ThreadPoolExecutor(max_workers=min(parallel, rounds)) as pool:
-                return list(pool.map(one_round, range(rounds)))
-        return [one_round(round_id) for round_id in range(rounds)]
+        with self.observer.tracer.span(
+            "fastscan.series", rounds=rounds, parallel=parallel
+        ):
+            if parallel > 1 and rounds > 1:
+                with ThreadPoolExecutor(max_workers=min(parallel, rounds)) as pool:
+                    return list(pool.map(one_round, range(rounds)))
+            return [one_round(round_id) for round_id in range(rounds)]

@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError, MeasurementError
 from repro.icmp.latency import LatencyModel
 from repro.icmp.network import SimulatedDataplane
 from repro.icmp.packets import build_probe
+from repro.obs import NULL_OBSERVER, Observer
 from repro.probing.hitlist import Hitlist, build_hitlist
 from repro.probing.prober import Prober, ProberConfig
 from repro.topology.internet import Internet
@@ -49,6 +50,7 @@ class Verfploeter:
         hitlist: Optional[Hitlist] = None,
         cleaning: Optional[CleaningConfig] = None,
         latency_model: Optional[LatencyModel] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         if capture_style not in CAPTURE_STYLES:
             raise ConfigurationError(
@@ -57,8 +59,15 @@ class Verfploeter:
         self.internet = internet
         self.service = service
         self.capture_style = capture_style
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.cleaning = cleaning if cleaning is not None else CleaningConfig()
-        self.hitlist = hitlist if hitlist is not None else build_hitlist(internet)
+        if hitlist is not None:
+            self.hitlist = hitlist
+        else:
+            with self.observer.tracer.span("hitlist.build") as span:
+                self.hitlist = build_hitlist(internet)
+                span.set(entries=len(self.hitlist))
+        self.observer.metrics.gauge("hitlist.entries").set(len(self.hitlist))
         self.latency_model = (
             latency_model
             if latency_model is not None
@@ -72,7 +81,10 @@ class Verfploeter:
                 "prober source address must be inside the service prefix "
                 f"{service.prefix}"
             )
-        self._prober = Prober(self.hitlist, self.prober_config, internet.seed)
+        self._prober = Prober(
+            self.hitlist, self.prober_config, internet.seed,
+            observer=self.observer,
+        )
 
     def _make_captures(self) -> List[SiteCapture]:
         captures: List[SiteCapture] = []
@@ -97,7 +109,13 @@ class Verfploeter:
         self, policy: Optional[AnnouncementPolicy] = None
     ) -> RoutingOutcome:
         """Compute routes for ``policy`` (default: all sites, no prepend)."""
-        return compute_routes(self.internet, policy or self.service.default_policy())
+        with self.observer.tracer.span("bgp.propagate.full") as span:
+            outcome = compute_routes(
+                self.internet, policy or self.service.default_policy()
+            )
+            span.set(sites=len(outcome.policy.site_codes))
+        self.observer.metrics.counter("routing.full_computes").inc()
+        return outcome
 
     def run_scan(
         self,
@@ -120,71 +138,96 @@ class Verfploeter:
             routing = self.routing_for(policy)
         if wire_level is None:
             wire_level = len(self.hitlist) <= _WIRE_LEVEL_CUTOFF
-        dataplane = SimulatedDataplane(routing, self.latency_model)
-        collector = CentralCollector(self._make_captures())
-        schedule = self._prober.schedule_round(round_id, start_time)
-        probed_addresses = set()
-        send_times: Dict[int, float] = {}
-        replies_received = 0
-        source = self.prober_config.source_address
-        payload = self.prober_config.payload
-        for probe in schedule:
-            probed_addresses.add(probe.destination)
-            send_times[probe.destination] = probe.send_time
-            if wire_level:
-                packet = build_probe(
-                    source, probe.destination, probe.identifier, probe.sequence, payload
-                )
-                delivered = dataplane.send_probe_packet(
-                    packet, probe.send_time, round_id
-                )
-            else:
-                delivered = dataplane.send_probe_fast(
-                    probe.destination,
-                    probe.identifier,
-                    probe.sequence,
-                    probe.send_time,
-                    round_id,
-                )
-            for reply in delivered:
-                replies_received += 1
-                collector.ingest(reply)
-        collected = collector.collect()
-        cleaned = clean_replies(
-            collected,
-            probed_addresses,
-            schedule.identifier,
-            start_time,
-            self.cleaning,
-        )
-        mapping: Dict[int, str] = {
-            reply.source_block: reply.site_code for reply in cleaned.kept
-        }
-        rtts: Dict[int, float] = {
-            reply.source_block: (
-                reply.timestamp - send_times[reply.source_address]
-            ) * 1000.0
-            for reply in cleaned.kept
-        }
-        catchment = CatchmentMap(routing.policy.site_codes, mapping)
-        stats = ScanStats(
-            probes_sent=len(schedule),
-            replies_received=replies_received,
-            wrong_round=cleaned.wrong_round,
-            unsolicited=cleaned.unsolicited,
-            late=cleaned.late,
-            duplicates=cleaned.duplicates,
-            kept=len(cleaned.kept),
-        )
-        return ScanResult(
-            dataset_id=dataset_id or f"scan-r{round_id}",
-            round_id=round_id,
-            start_time=start_time,
-            duration_seconds=schedule.duration_seconds,
-            catchment=catchment,
-            stats=stats,
-            rtts=rtts,
-        )
+        observer = self.observer
+        with observer.tracer.span(
+            "scan.round", round_id=round_id, wire_level=wire_level
+        ) as scan_span:
+            dataplane = SimulatedDataplane(routing, self.latency_model)
+            collector = CentralCollector(
+                self._make_captures(), observer=observer
+            )
+            schedule = self._prober.schedule_round(round_id, start_time)
+            probed_addresses = set()
+            send_times: Dict[int, float] = {}
+            replies_received = 0
+            source = self.prober_config.source_address
+            payload = self.prober_config.payload
+            with observer.tracer.span("scan.probe_replies"):
+                for probe in schedule:
+                    probed_addresses.add(probe.destination)
+                    send_times[probe.destination] = probe.send_time
+                    if wire_level:
+                        packet = build_probe(
+                            source, probe.destination, probe.identifier,
+                            probe.sequence, payload
+                        )
+                        delivered = dataplane.send_probe_packet(
+                            packet, probe.send_time, round_id
+                        )
+                    else:
+                        delivered = dataplane.send_probe_fast(
+                            probe.destination,
+                            probe.identifier,
+                            probe.sequence,
+                            probe.send_time,
+                            round_id,
+                        )
+                    for reply in delivered:
+                        replies_received += 1
+                        collector.ingest(reply)
+            collected = collector.collect()
+            cleaned = clean_replies(
+                collected,
+                probed_addresses,
+                schedule.identifier,
+                start_time,
+                self.cleaning,
+                observer=observer,
+            )
+            with observer.tracer.span("catchment.map") as map_span:
+                mapping: Dict[int, str] = {
+                    reply.source_block: reply.site_code for reply in cleaned.kept
+                }
+                rtts: Dict[int, float] = {
+                    reply.source_block: (
+                        reply.timestamp - send_times[reply.source_address]
+                    ) * 1000.0
+                    for reply in cleaned.kept
+                }
+                catchment = CatchmentMap(routing.policy.site_codes, mapping)
+                map_span.set(mapped_blocks=len(mapping))
+            observer.metrics.counter("probe.probes_sent").inc(len(schedule))
+            observer.metrics.counter("collector.replies_received").inc(
+                replies_received
+            )
+            scan_span.set(
+                probes_sent=len(schedule),
+                replies_received=replies_received,
+                kept=len(cleaned.kept),
+            )
+            if observer.enabled:
+                for code, fraction in sorted(catchment.fractions().items()):
+                    observer.metrics.gauge(
+                        "catchment.fraction", site=code
+                    ).set(fraction)
+            stats = ScanStats(
+                probes_sent=len(schedule),
+                replies_received=replies_received,
+                wrong_round=cleaned.wrong_round,
+                unsolicited=cleaned.unsolicited,
+                late=cleaned.late,
+                duplicates=cleaned.duplicates,
+                kept=len(cleaned.kept),
+            )
+            return ScanResult(
+                dataset_id=dataset_id or f"scan-r{round_id}",
+                round_id=round_id,
+                start_time=start_time,
+                duration_seconds=schedule.duration_seconds,
+                catchment=catchment,
+                stats=stats,
+                rtts=rtts,
+            )
 
     def run_series(
         self,

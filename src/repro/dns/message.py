@@ -100,6 +100,7 @@ class DnsQuestion:
     qclass: int
 
     def encode(self) -> bytes:
+        """Wire-format bytes of this question entry."""
         return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
 
 
@@ -114,6 +115,7 @@ class DnsRecord:
     rdata: bytes
 
     def encode(self) -> bytes:
+        """Wire-format bytes of this resource record."""
         return (
             encode_name(self.name)
             + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
@@ -222,6 +224,7 @@ class DnsMessage:
     additionals: List[DnsRecord] = field(default_factory=list)
 
     def encode(self) -> bytes:
+        """Wire-format bytes of the whole message (header + sections)."""
         flags = 0
         if self.is_response:
             flags |= _FLAG_QR
@@ -245,6 +248,7 @@ class DnsMessage:
 
     @classmethod
     def decode(cls, data: bytes) -> "DnsMessage":
+        """Parse wire-format bytes into a DnsMessage (raises DNSError)."""
         if len(data) < 12:
             raise DNSError(f"DNS message truncated: {len(data)} bytes")
         message_id, flags, qdcount, ancount, nscount, arcount = struct.unpack(

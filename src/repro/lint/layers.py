@@ -9,11 +9,14 @@ layered-architecture reading of the DAG
         -> probing/collector/atlas/resolvers/load/analysis
         -> core -> cli
 
-with three additions reflecting the tree as it actually is:
+with four additions reflecting the tree as it actually is:
 
 * ``anycast`` (sites, service, catchment value types) sits with ``bgp``;
 * ``lint`` (this tool) is layer 0 — it may import nothing but
   ``errors``;
+* ``obs`` (tracing spans, metrics, profiling hooks) is also layer 0:
+  every pipeline layer above it reports into it, so it may import
+  nothing but ``errors``;
 * ``datasets`` and ``reporting`` sit between ``core`` and ``cli``:
   they serialise and render *outputs* of the core drivers.
 
@@ -29,7 +32,7 @@ from typing import Dict, Optional, Tuple
 
 #: Index in this tuple == layer number (0 is the bottom).
 LAYERS: Tuple[Tuple[str, ...], ...] = (
-    ("errors", "rng", "netaddr", "lint"),
+    ("errors", "rng", "netaddr", "lint", "obs"),
     ("geo", "topology"),
     ("anycast", "bgp", "icmp", "dns", "traffic"),
     ("probing", "collector", "atlas", "resolvers", "load", "analysis"),

@@ -25,6 +25,7 @@ import numpy as np
 from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
 from repro.errors import DatasetError
 from repro.load.estimator import LoadEstimate
+from repro.obs import NULL_OBSERVER, Observer
 from repro.traffic.logs import HOURS
 
 UNKNOWN = "UNK"
@@ -149,6 +150,7 @@ def weight_catchment(
     catchment: CatchmentMap,
     estimate: LoadEstimate,
     hourly: bool = True,
+    observer: Optional[Observer] = None,
 ) -> SiteLoad:
     """Attribute every traffic-sending block's load to its mapped site.
 
@@ -156,8 +158,17 @@ def weight_catchment(
     catchments dispatch to the columnar fast path, which produces
     bit-identical loads.
     """
+    if observer is None:
+        observer = NULL_OBSERVER
     if len(estimate) == 0:
         raise DatasetError("load estimate is empty")
-    if isinstance(catchment, ArrayCatchmentMap):
-        return _weight_columnar(catchment, estimate, hourly)
-    return _weight_reference(catchment, estimate, hourly)
+    columnar = isinstance(catchment, ArrayCatchmentMap)
+    with observer.tracer.span("load.weight", columnar=columnar) as span:
+        with observer.profile("load.weight"):
+            if columnar:
+                load = _weight_columnar(catchment, estimate, hourly)
+            else:
+                load = _weight_reference(catchment, estimate, hourly)
+        span.set(join_rows=len(estimate))
+    observer.metrics.gauge("load.join_rows").set(len(estimate))
+    return load

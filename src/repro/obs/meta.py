@@ -1,0 +1,53 @@
+"""The shared run-metadata block and its fingerprint.
+
+Every observability artifact (metrics JSON, trace JSON, the report
+generator's sidecar files) and every ``BENCH_*.json`` perf baseline
+embeds the same ``meta`` block — scenario, scale, seed, and a stable
+fingerprint hashed from those identity fields — so traces, metrics,
+and benchmark timings taken from the same seeded run are joinable
+offline by fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+__all__ = ["run_metadata", "metadata_fingerprint"]
+
+
+def metadata_fingerprint(identity: Dict[str, object]) -> str:
+    """Stable 16-hex-digit digest of a metadata identity mapping.
+
+    Canonicalises with sorted keys before hashing, so two blocks built
+    from the same fields in different orders share a fingerprint.
+    """
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def run_metadata(
+    scenario: Optional[str] = None,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """The metadata block identifying one seeded run.
+
+    ``extra`` fields (``blocks``, ``rounds``, ...) describe the run and
+    are embedded but excluded from the fingerprint: the fingerprint
+    keys on run *identity* (scenario, scale, seed), which is what two
+    artifacts of the same run agree on regardless of which phases each
+    one recorded.
+    """
+    identity: Dict[str, object] = {
+        "scenario": scenario,
+        "scale": scale,
+        "seed": seed,
+    }
+    block: Dict[str, object] = dict(identity)
+    for key in sorted(extra):
+        block[key] = extra[key]
+    block["fingerprint"] = metadata_fingerprint(identity)
+    return block

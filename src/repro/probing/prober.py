@@ -9,9 +9,10 @@ round's unique identifier in the ICMP header.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError, MeasurementError
+from repro.obs import NULL_OBSERVER, Observer
 from repro.probing.hitlist import Hitlist
 from repro.probing.order import PseudorandomOrder, round_order_seed
 
@@ -117,10 +118,17 @@ class ProbeSchedule:
 class Prober:
     """Builds probe schedules for successive measurement rounds."""
 
-    def __init__(self, hitlist: Hitlist, config: ProberConfig, seed: int) -> None:
+    def __init__(
+        self,
+        hitlist: Hitlist,
+        config: ProberConfig,
+        seed: int,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.hitlist = hitlist
         self.config = config
         self._seed = seed
+        self._observer = observer if observer is not None else NULL_OBSERVER
 
     def schedule_round(self, round_id: int, start_time: float = 0.0) -> ProbeSchedule:
         """Schedule one measurement round.
@@ -128,10 +136,16 @@ class Prober:
         Each round gets its own ICMP identifier (dataset separation) and
         its own probe order (derived from the prober seed and round id).
         """
-        return ProbeSchedule(
-            self.hitlist, self.config, round_id, start_time,
-            self.order_seed(round_id),
-        )
+        with self._observer.tracer.span(
+            "probe.schedule", round_id=round_id
+        ) as span:
+            schedule = ProbeSchedule(
+                self.hitlist, self.config, round_id, start_time,
+                self.order_seed(round_id),
+            )
+            span.set(probes=len(schedule))
+        self._observer.metrics.counter("probe.rounds_scheduled").inc()
+        return schedule
 
     def order_seed(self, round_id: int) -> int:
         """Probe-order permutation seed for ``round_id``.

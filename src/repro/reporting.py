@@ -25,6 +25,7 @@ from repro.analysis.maps import atlas_grid, catchment_grid, load_grid, render_as
 from repro.analysis.prepend import format_prepend_table
 from repro.analysis.catchment_fractions import MethodRow, format_method_table
 from repro.analysis.traffic_coverage import format_traffic_coverage, traffic_coverage
+from repro.bgp.cache import RoutingCache
 from repro.core.comparison import compare_coverage
 from repro.core.experiments import prepend_sweep, run_stability_series
 from repro.core.scenarios import Scenario
@@ -33,6 +34,7 @@ from repro.datasets import write_scan
 from repro.load.estimator import LoadEstimate
 from repro.load.prediction import compare_prediction, measured_site_load
 from repro.load.weighting import weight_catchment
+from repro.obs import NULL_OBSERVER, Observer, run_metadata
 
 
 def _section(title: str, body: str) -> str:
@@ -44,15 +46,27 @@ def generate_full_report(
     output_dir: Path,
     stability_rounds: int = 24,
     day_queries: Optional[float] = None,
+    observer: Optional[Observer] = None,
 ) -> Path:
     """Run the full evaluation on ``scenario``; return the report path.
 
     Writes ``REPORT.md`` and the primary scan dataset
-    (``scan.tsv``) into ``output_dir`` (created if needed).
+    (``scan.tsv``) into ``output_dir`` (created if needed).  With a
+    collecting ``observer``, also writes ``metrics.json`` and
+    ``trace.json`` sidecars — both embedding the same run-metadata
+    block (scenario, scale, seed, fingerprint) the ``BENCH_*.json``
+    baselines carry, so report artifacts and benchmark timings from the
+    same seeded run are joinable by fingerprint — and appends an
+    Observability section to the report.
     """
+    if observer is None:
+        observer = NULL_OBSERVER
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
+    cache = RoutingCache(observer=observer)
     routing = verfploeter.routing_for()
     scan = verfploeter.run_scan(routing=routing, dataset_id="report-scan",
                                 wire_level=False)
@@ -80,7 +94,7 @@ def generate_full_report(
     ))
 
     primary = scenario.service.site_codes[0]
-    predicted = weight_catchment(scan.catchment, estimate)
+    predicted = weight_catchment(scan.catchment, estimate, observer=observer)
     measured = measured_site_load(routing, estimate)
     comparison = compare_prediction(predicted, measured)
     rows = [
@@ -109,6 +123,7 @@ def generate_full_report(
             [("equal", {})]
             + [(f"+{n} {primary}", {primary: n}) for n in (1, 2)]
         ),
+        cache=cache,
     )
     parts.append(_section(
         "Prepending sweep (paper Figure 5)",
@@ -116,7 +131,7 @@ def generate_full_report(
     ))
 
     series = run_stability_series(
-        verfploeter, rounds=stability_rounds, fast=True
+        verfploeter, rounds=stability_rounds, fast=True, cache=cache
     )
     parts.append(_section(
         "Stability (paper Figure 9)",
@@ -157,6 +172,26 @@ def generate_full_report(
             summarize_inflation(scan, verfploeter.latency_model)
         ),
     ))
+
+    if observer.enabled:
+        meta = run_metadata(
+            scenario=scenario.name,
+            scale=scenario.scale,
+            seed=scenario.internet.seed,
+            stability_rounds=stability_rounds,
+        )
+        (output_dir / "metrics.json").write_text(
+            observer.metrics.to_json(meta=meta) + "\n", encoding="utf-8"
+        )
+        (output_dir / "trace.json").write_text(
+            observer.tracer.to_json(meta=meta) + "\n", encoding="utf-8"
+        )
+        parts.append(_section(
+            "Observability (this run's pipeline metrics)",
+            observer.metrics.render_text(title="pipeline metrics")
+            + f"\nrun fingerprint: {meta['fingerprint']}"
+            + "\nfull trace: trace.json; full metrics: metrics.json",
+        ))
 
     report_path = output_dir / "REPORT.md"
     report_path.write_text("".join(parts), encoding="utf-8")

@@ -12,6 +12,7 @@ from repro.rng import derive_rng
 
 
 def shuffled(items, seed: int):
+    """Fixture helper (shuffled)."""
     rng = derive_rng(seed, "clean-fixture/shuffle")
     ordered = sorted(items)
     rng.shuffle(ordered)
@@ -19,6 +20,7 @@ def shuffled(items, seed: int):
 
 
 def totals(groups):
+    """Fixture helper (totals)."""
     out = []
     for name in sorted(groups):
         out.append((name, len(groups[name])))
@@ -26,10 +28,12 @@ def totals(groups):
 
 
 def check_positive(value: int) -> int:
+    """Fixture helper (check_positive)."""
     if value <= 0:
         raise ConfigurationError("value must be positive")
     return value
 
 
 def legacy_jitter() -> float:
+    """Fixture helper (legacy_jitter)."""
     return random.random()  # reprolint: disable=D101

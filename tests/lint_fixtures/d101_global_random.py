@@ -4,4 +4,5 @@ import random
 
 
 def jitter() -> float:
+    """Fixture helper (jitter)."""
     return random.random()  # MARK

@@ -4,4 +4,5 @@ import random
 
 
 def make_rng():
+    """Fixture helper (make_rng)."""
     return random.Random()  # MARK

@@ -4,4 +4,5 @@ import numpy as np
 
 
 def draw(n: int):
+    """Fixture helper (draw)."""
     return np.random.rand(n)  # MARK

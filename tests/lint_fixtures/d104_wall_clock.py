@@ -4,4 +4,5 @@ import time
 
 
 def stamp() -> float:
+    """Fixture helper (stamp)."""
     return time.time()  # MARK

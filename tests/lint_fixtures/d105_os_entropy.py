@@ -4,4 +4,5 @@ import os
 
 
 def token() -> bytes:
+    """Fixture helper (token)."""
     return os.urandom(8)  # MARK

@@ -2,6 +2,7 @@
 
 
 class Key:
+    """Fixture helper (Key)."""
     def __init__(self, label: str) -> None:
         self.label = label
 
@@ -10,4 +11,5 @@ class Key:
 
 
 def bucket_of(label: str, buckets: int) -> int:
+    """Fixture helper (bucket_of)."""
     return hash(label) % buckets  # MARK

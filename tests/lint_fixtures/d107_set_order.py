@@ -4,6 +4,7 @@ from typing import List
 
 
 def neighbors_of(edges) -> List[int]:
+    """Fixture helper (neighbors_of)."""
     seen = {b for _, b in edges}
     result: List[int] = []
     for node in seen:  # MARK

@@ -2,6 +2,7 @@
 
 
 def drain(items) -> int:
+    """Fixture helper (drain)."""
     pending = set(items)
     total = 0
     while pending:

@@ -4,14 +4,17 @@ from typing import List
 
 
 class RetryPolicy:
+    """Fixture helper (RetryPolicy)."""
     def __init__(self, attempts: int = 3) -> None:
         self.attempts = attempts
 
 
 def fetch(url: str, policy: RetryPolicy = RetryPolicy()) -> str:  # MARK
+    """Fixture helper (fetch)."""
     return f"{url}:{policy.attempts}"
 
 
 def merge(item: int, into: List[int] = []) -> List[int]:  # MARK
+    """Fixture helper (merge)."""
     into.append(item)
     return into

@@ -5,6 +5,7 @@ from typing import Dict, List, Set
 
 
 def tally_sites(sites: List[str]) -> Dict[str, int]:
+    """Fixture helper (tally_sites)."""
     counts: Dict[str, int] = {}
     for site in sites:
         counts[site] = counts.get(site, 0) + 1  # MARK
@@ -12,6 +13,7 @@ def tally_sites(sites: List[str]) -> Dict[str, int]:
 
 
 def flipping_blocks(blocks: List[int]) -> Set[int]:
+    """Fixture helper (flipping_blocks)."""
     seen = set()
     for block in blocks:
         seen.add(block)  # MARK

@@ -1,0 +1,36 @@
+"""Fixture: undocumented public API (D111).
+
+Three violations: the bare public function, the bare public class, and
+the class's undocumented public method.  Private names, documented
+names, and members of private classes are exempt.
+"""
+
+
+def bare_function():  # MARK
+    return 1
+
+
+class BareClass:
+    def bare_method(self):
+        return 2
+
+    def _private_method(self):
+        return 3
+
+    def documented_method(self):
+        """Documented: exempt."""
+        return 4
+
+
+def documented_function():
+    """Documented: exempt."""
+    return 5
+
+
+def _private_function():
+    return 6
+
+
+class _PrivateClass:
+    def member_of_private_class(self):
+        return 7

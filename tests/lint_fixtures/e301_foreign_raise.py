@@ -2,6 +2,7 @@
 
 
 def pick(mapping, key):
+    """Fixture helper (pick)."""
     if key not in mapping:
         raise RuntimeError(f"no such key {key!r}")  # MARK
     return mapping[key]

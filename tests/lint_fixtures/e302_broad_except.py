@@ -2,6 +2,7 @@
 
 
 def safe_int(text: str) -> int:
+    """Fixture helper (safe_int)."""
     try:
         return int(text)
     except Exception:  # MARK

@@ -4,8 +4,10 @@ from repro.rng import derive_seed
 
 
 def first_stream(seed: int) -> int:
+    """Fixture helper (first_stream)."""
     return derive_seed(seed, "shared-label")  # MARK
 
 
 def second_stream(seed: int) -> int:
+    """Fixture helper (second_stream)."""
     return derive_seed(seed, "shared-label")  # MARK2

@@ -4,8 +4,10 @@ from repro.rng import derive_seed
 
 
 def per_round(seed: int, round_id: int) -> int:
+    """Fixture helper (per_round)."""
     return derive_seed(seed, f"round-{round_id}")
 
 
 def fixed(seed: int) -> int:
+    """Fixture helper (fixed)."""
     return derive_seed(seed, "round-7")  # MARK

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -85,3 +87,73 @@ class TestCommands:
         main(["scan", *TINY, "--seed", "2"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestObservability:
+    """--metrics-out / --trace-out round-trips and artifact determinism."""
+
+    def test_metrics_file_matches_in_memory_registry(self, tmp_path, capsys):
+        from repro.obs import Observer
+
+        observer = Observer.collecting()
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["scan", *TINY, "--metrics-out", str(out)], observer=observer
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["counters"] == json.loads(
+            observer.metrics.to_json()
+        )["counters"]
+        assert payload["meta"]["scenario"] == "broot"
+        assert payload["meta"]["scale"] == "tiny"
+        assert "fingerprint" in payload["meta"]
+
+    def test_trace_file_matches_in_memory_tracer(self, tmp_path, capsys):
+        from repro.obs import Observer
+
+        observer = Observer.collecting()
+        out = tmp_path / "trace.json"
+        assert main(
+            ["scan", *TINY, "--trace-out", str(out)], observer=observer
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["spans"] == json.loads(
+            observer.tracer.to_json()
+        )["spans"]
+        names = [span["name"] for span in payload["spans"]]
+        assert "scan.round" in names
+
+    def test_metrics_and_trace_share_a_fingerprint(self, tmp_path, capsys):
+        metrics_out = tmp_path / "m.json"
+        trace_out = tmp_path / "t.json"
+        assert main(
+            ["scan", *TINY, "--metrics-out", str(metrics_out),
+             "--trace-out", str(trace_out)]
+        ) == 0
+        metrics_meta = json.loads(metrics_out.read_text())["meta"]
+        trace_meta = json.loads(trace_out.read_text())["meta"]
+        assert metrics_meta == trace_meta
+
+    def test_scan_prints_metrics_table_when_collecting(self, tmp_path, capsys):
+        assert main(
+            ["scan", *TINY, "--metrics-out", str(tmp_path / "m.json")]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "pipeline metrics:" in output
+        assert "probe.probes_sent" in output
+
+    def test_two_seeded_runs_write_identical_artifacts(self, tmp_path, capsys):
+        def run(tag):
+            metrics_out = tmp_path / f"m-{tag}.json"
+            trace_out = tmp_path / f"t-{tag}.json"
+            assert main(
+                ["sweep", *TINY, "--metrics-out", str(metrics_out),
+                 "--trace-out", str(trace_out)]
+            ) == 0
+            return metrics_out.read_bytes(), trace_out.read_bytes()
+
+        assert run("first") == run("second")
+
+    def test_profile_flag_prints_report(self, capsys):
+        assert main(["scan", *TINY, "--profile"]) == 0
+        assert "profile (wall clock, opt-in):" in capsys.readouterr().out

@@ -151,8 +151,8 @@ class TestCleaning:
     def test_config_built_per_call_not_at_import(self):
         # A CleaningConfig() default in the signature would be frozen
         # at module import; the signature must default to None and
-        # build the config inside the call.
-        assert clean_replies.__defaults__ == (None,)
+        # build the config inside the call (same for the observer).
+        assert all(value is None for value in clean_replies.__defaults__)
         result = clean_replies([reply(timestamp=899.0)], self.PROBED, 1, 0.0)
         assert len(result.kept) == 1
 

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.load",
     "repro.core",
     "repro.analysis",
+    "repro.obs",
 ]
 
 
@@ -58,12 +59,16 @@ def test_errors_hierarchy():
 
 
 def test_quickstart_snippet_works():
-    """The README quickstart, verbatim."""
-    from repro import broot_like, Verfploeter
+    """The README quickstart (at tiny scale), observer included."""
+    from repro import Observer, Verfploeter, broot_like
 
     scenario = broot_like(scale="tiny")
-    vp = Verfploeter(scenario.internet, scenario.service)
+    observer = Observer.collecting()
+    vp = Verfploeter(scenario.internet, scenario.service, observer=observer)
     scan = vp.run_scan()
     fractions = scan.catchment.fractions()
     assert set(fractions) == {"LAX", "MIA"}
     assert sum(fractions.values()) == pytest.approx(1.0)
+    metrics_table = observer.metrics.render_text()
+    assert "probe.probes_sent" in metrics_table
+    assert "catchment.fraction{site=LAX}" in metrics_table

@@ -49,3 +49,62 @@ class TestGenerateFullReport:
         assert code == 0
         assert (outdir / "REPORT.md").exists()
         assert "wrote" in capsys.readouterr().out
+
+    def test_null_observer_writes_no_sidecars(self, report_dir):
+        assert not (report_dir / "metrics.json").exists()
+        assert not (report_dir / "trace.json").exists()
+
+
+class TestObservabilitySidecars:
+    @pytest.fixture(scope="class")
+    def observed_report(self, broot_tiny, tmp_path_factory):
+        from repro.obs import Observer
+
+        output = tmp_path_factory.mktemp("observed-report")
+        observer = Observer.collecting()
+        generate_full_report(
+            broot_tiny, output, stability_rounds=6, observer=observer
+        )
+        return output, observer
+
+    def test_sidecars_written_and_joinable(self, observed_report):
+        import json
+
+        output, _ = observed_report
+        metrics = json.loads((output / "metrics.json").read_text())
+        trace = json.loads((output / "trace.json").read_text())
+        assert metrics["meta"] == trace["meta"]
+        meta = metrics["meta"]
+        assert meta["scenario"] == "b-root"
+        assert meta["scale"] == "tiny"
+        assert meta["stability_rounds"] == 6
+        assert len(meta["fingerprint"]) == 16
+
+    def test_report_gains_observability_section(self, observed_report):
+        output, observer = observed_report
+        text = (output / "REPORT.md").read_text()
+        assert "Observability" in text
+        assert "probe.probes_sent" in text
+        meta_fingerprint = text.split("run fingerprint: ")[1].split()[0]
+        import json
+
+        sidecar = json.loads((output / "metrics.json").read_text())
+        assert sidecar["meta"]["fingerprint"] == meta_fingerprint
+
+    def test_trace_covers_the_experiment_drivers(self, observed_report):
+        import json
+
+        output, _ = observed_report
+        trace = json.loads((output / "trace.json").read_text())
+
+        def names(spans):
+            for span in spans:
+                yield span["name"]
+                yield from names(span["children"])
+
+        recorded = set(names(trace["spans"]))
+        for expected in (
+            "experiment.prepend_sweep", "experiment.stability_series",
+            "fastscan.round", "load.weight",
+        ):
+            assert expected in recorded, f"missing span {expected}"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check intra-repository links in the project's markdown documentation.
+
+Scans the repo's markdown surface (``docs/*.md`` plus the top-level
+pages) for ``[text](target)`` links, resolves every non-external target
+against the file containing it, and exits 1 listing the dead ones.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; ``path#anchor`` targets are
+checked for the file part only.  Stdlib-only: run as
+``python tools/checkdocs.py`` (or ``make docs``).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Top-level pages checked in addition to everything under docs/.
+TOP_LEVEL_PAGES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+)
+
+#: Inline markdown links, excluding images; target is group 1.
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def documentation_files() -> List[str]:
+    """Every markdown file this checker covers, repo-relative, sorted."""
+    paths = [
+        page
+        for page in TOP_LEVEL_PAGES
+        if os.path.exists(os.path.join(REPO_ROOT, page))
+    ]
+    docs_glob = os.path.join(REPO_ROOT, "docs", "*.md")
+    paths.extend(
+        os.path.relpath(path, REPO_ROOT) for path in glob.glob(docs_glob)
+    )
+    return sorted(paths)
+
+
+def check_file(relative_path: str) -> List[Tuple[int, str]]:
+    """(line, target) pairs for every dead intra-repo link in one file."""
+    absolute = os.path.join(REPO_ROOT, relative_path)
+    base_dir = os.path.dirname(absolute)
+    dead: List[Tuple[int, str]] = []
+    with open(absolute, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            for match in LINK_PATTERN.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_SCHEMES):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:  # pure in-page anchor
+                    continue
+                if not os.path.exists(os.path.join(base_dir, file_part)):
+                    dead.append((line_number, target))
+    return dead
+
+
+def main() -> int:
+    """Check every documentation file; 0 clean, 1 with dead links."""
+    files = documentation_files()
+    total_links = 0
+    failures = 0
+    for relative_path in files:
+        dead = check_file(relative_path)
+        with open(
+            os.path.join(REPO_ROOT, relative_path), "r", encoding="utf-8"
+        ) as handle:
+            total_links += sum(
+                1 for line in handle for _ in LINK_PATTERN.finditer(line)
+            )
+        for line_number, target in dead:
+            failures += 1
+            print(f"{relative_path}:{line_number}: dead link -> {target}")
+    print(
+        f"checkdocs: {len(files)} files, {total_links} links, "
+        f"{failures} dead"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
