@@ -1,33 +1,42 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint bench bench-delta bench-columnar bench-obs docs examples report all
+.PHONY: install test lint bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest tests/
 
 lint:
 	PYTHONPATH=src python -m repro.lint src tests benchmarks examples
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 bench-verbose:
-	pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s
 
 # Regenerate the incremental-propagation perf baseline (BENCH_delta_routing.json).
 bench-delta:
-	pytest benchmarks/bench_extension_delta_routing.py --benchmark-only -s
+	PYTHONPATH=src python -m pytest benchmarks/bench_extension_delta_routing.py --benchmark-only -s
 
 # Regenerate the columnar-results perf baseline (BENCH_columnar_scan.json).
 bench-columnar:
-	pytest benchmarks/bench_extension_columnar_scan.py --benchmark-only -s
+	PYTHONPATH=src python -m pytest benchmarks/bench_extension_columnar_scan.py --benchmark-only -s
 
 # Regenerate the observability-overhead baseline (BENCH_observability.json).
 bench-obs:
-	pytest benchmarks/bench_extension_observability.py --benchmark-only -s
+	PYTHONPATH=src python -m pytest benchmarks/bench_extension_observability.py --benchmark-only -s
+
+# Regenerate the sharded-scan perf baseline (BENCH_sharded_scan.json):
+# the full million-block xlarge series.  Slow (builds a 1.4M-block
+# topology); the smoke variant below runs in `make bench` and CI.
+bench-sharded:
+	REPRO_SHARDED_BENCH=full PYTHONPATH=src python -m pytest benchmarks/bench_extension_sharded_scan.py --benchmark-only -s
+
+bench-sharded-smoke:
+	PYTHONPATH=src python -m pytest benchmarks/bench_extension_sharded_scan.py --benchmark-only -s
 
 # Documentation gate: every intra-repo markdown link resolves, and the
 # README quickstart (observer included) still runs end to end.
@@ -36,9 +45,9 @@ docs:
 	PYTHONPATH=src python examples/quickstart.py > /dev/null
 
 examples:
-	for script in examples/*.py; do echo "== $$script"; python $$script > /dev/null || exit 1; done
+	for script in examples/*.py; do echo "== $$script"; PYTHONPATH=src python $$script > /dev/null || exit 1; done
 
 report:
-	python -m repro paper --scenario broot --scale small --outdir repro-report
+	PYTHONPATH=src python -m repro paper --scenario broot --scale small --outdir repro-report
 
 all: lint docs test bench

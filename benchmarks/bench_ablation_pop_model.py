@@ -27,7 +27,7 @@ def test_ablation_pop_model(benchmark):
     from repro.core import scenarios as scenario_module
     from repro.topology.generator import TopologyConfig, build_internet
 
-    tier1, transit, stub, blocks_cap = scenario_module.SCALES["small"]
+    tier1, transit, stub, blocks_cap, density = scenario_module.SCALES["small"]
     single_internet = build_internet(
         TopologyConfig(
             seed=1337,

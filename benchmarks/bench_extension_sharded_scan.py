@@ -1,0 +1,217 @@
+"""Extension: sharded multiprocess scan at the million-block scale.
+
+The paper's catchment maps cover the whole responsive IPv4 Internet —
+millions of /24s — which wants more than one core.  This bench runs
+the 24-hour stability series (96 rounds) over the ``xlarge``
+``tangled_like`` topology (~1.47M populated blocks), comparing the
+vectorised single-process engine against
+:func:`repro.core.sharding.run_sharded_series` at 1 worker and at
+``min(4, cores)`` workers, plus the sharded load weighting, and
+asserting **bit-identical** stats / catchments / RTTs / SiteLoads
+throughout (the helpers raise ``EquivalenceError`` on the first
+differing byte).  It also measures the memmap table cold-start: the
+scenario's round-invariant tables are persisted once through
+``core.tables.TableStore`` and re-attached, which must cost
+milliseconds, not the seconds of the Python rebuild passes.
+
+Timings land in ``BENCH_sharded_scan.json`` at the repo root.  The
+full run is slow (the topology alone takes ~2 minutes to build), so it
+hides behind ``REPRO_SHARDED_BENCH=full`` (``make bench-sharded``);
+the default smoke mode runs the identical checks at the ``small``
+scale — including a real process pool — and writes no JSON, keeping
+``make bench`` and CI honest without the wait.  The >=3x speedup floor
+applies only when the machine actually has >=4 cores (recorded in the
+JSON either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core.fastscan import FastScanEngine
+from repro.core.scenarios import tangled_like
+from repro.core.sharding import (
+    ShardPlan,
+    assert_scan_results_identical,
+    assert_site_loads_identical,
+    run_sharded_series,
+    sharded_weight_catchment,
+)
+from repro.core.tables import (
+    TableStore,
+    attach_scenario_tables,
+    attached_day_load,
+    persist_scenario_tables,
+)
+from repro.core.verfploeter import Verfploeter
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import weight_catchment
+from repro.obs import run_metadata
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_sharded_scan.json")
+
+FULL = os.environ.get("REPRO_SHARDED_BENCH", "").lower() == "full"
+BENCH_SCALE = "xlarge" if FULL else "small"
+ROUNDS = 96 if FULL else 6
+SHARDS = 4 if FULL else 3
+DAY_LABEL = "2017-04-12"
+#: Skips the per-block Atlas VP-count pass; the platform is unused here.
+VP_COUNT = 9000
+
+#: Acceptance floors (full mode).
+MIN_BLOCKS = 1_000_000
+MIN_SPEEDUP_AT_4_CORES = 3.0
+
+
+def _timed(runner):
+    """(wall-clock seconds, result) of one call."""
+    start = time.perf_counter()
+    result = runner()
+    return time.perf_counter() - start, result
+
+
+def test_extension_sharded_scan(benchmark):
+    cores = len(os.sched_getaffinity(0))
+    pool_workers = min(4, cores) if FULL else 2
+
+    build_seconds, scenario = _timed(
+        lambda: tangled_like(scale=BENCH_SCALE, vp_count=VP_COUNT)
+    )
+    day_seconds, day = _timed(lambda: scenario.day_load(DAY_LABEL))
+    estimate = LoadEstimate(day)
+
+    # -- memmap tables: persist once, re-attach in milliseconds -------------
+    table_root = tempfile.mkdtemp(prefix="repro-sharded-bench-")
+    try:
+        store = TableStore(root=table_root)
+        persist_seconds, _ = _timed(
+            lambda: persist_scenario_tables(store, scenario, day_loads=[day])
+        )
+        attach_seconds, _ = _timed(lambda: attach_scenario_tables(store, scenario))
+        day_attach_seconds, attached_day = _timed(
+            lambda: attached_day_load(
+                store, scenario, day.service_name, day.date_label
+            )
+        )
+        assert attached_day.total_queries() == day.total_queries()
+
+        verfploeter = Verfploeter(scenario.internet, scenario.service)
+        precompute_seconds, engine = _timed(lambda: FastScanEngine(verfploeter))
+        blocks = engine.state.rows
+        if FULL:
+            assert blocks >= MIN_BLOCKS, (
+                f"xlarge universe shrank to {blocks} blocks"
+            )
+
+        # -- the series: single-process, sharded@1, sharded@N ---------------
+        single_seconds, baseline = _timed(
+            lambda: engine.run_series(rounds=ROUNDS, interval_seconds=900.0)
+        )
+        one_seconds, sharded_one = _timed(
+            lambda: run_sharded_series(
+                engine, rounds=ROUNDS, shards=SHARDS, workers=1
+            )
+        )
+        many_seconds, sharded_many = _timed(
+            lambda: run_sharded_series(
+                engine, rounds=ROUNDS, shards=SHARDS, workers=pool_workers
+            )
+        )
+        inline_seconds, sharded_inline = _timed(
+            lambda: run_sharded_series(
+                engine, rounds=ROUNDS, shards=SHARDS, workers=0
+            )
+        )
+
+        # Bit-identity, every round, every path back to the unsharded engine.
+        for merged in (sharded_one, sharded_many, sharded_inline):
+            assert len(merged) == ROUNDS
+            for got, expected in zip(merged, baseline):
+                assert_scan_results_identical(got, expected)
+
+        # -- sharded load weighting ------------------------------------------
+        weight_seconds, expected_load = _timed(
+            lambda: weight_catchment(baseline[0].catchment, estimate)
+        )
+        sharded_weight_seconds, actual_load = _timed(
+            lambda: sharded_weight_catchment(
+                baseline[0].catchment,
+                estimate,
+                shards=SHARDS,
+                workers=pool_workers,
+            )
+        )
+        assert_site_loads_identical(actual_load, expected_load)
+    finally:
+        shutil.rmtree(table_root, ignore_errors=True)
+
+    speedup = one_seconds / many_seconds if many_seconds else float("inf")
+    if FULL and cores >= 4:
+        assert speedup >= MIN_SPEEDUP_AT_4_CORES, (
+            f"{pool_workers}-worker series only {speedup:.2f}x over 1 worker"
+        )
+    rebuild_seconds = build_seconds + day_seconds
+    attach_total_seconds = attach_seconds + day_attach_seconds
+
+    payload = {
+        "meta": run_metadata(
+            scenario=scenario.name,
+            scale=scenario.scale,
+            seed=scenario.internet.seed,
+        ),
+        "scale": BENCH_SCALE,
+        "rounds": ROUNDS,
+        "shards": SHARDS,
+        "workers": pool_workers,
+        "cores": cores,
+        "blocks": blocks,
+        "build_seconds": round(build_seconds, 3),
+        "day_load_seconds": round(day_seconds, 3),
+        "precompute_seconds": round(precompute_seconds, 3),
+        "tables_persist_seconds": round(persist_seconds, 3),
+        "tables_attach_seconds": round(attach_total_seconds, 6),
+        "tables_attach_speedup": round(
+            rebuild_seconds / attach_total_seconds, 1
+        ) if attach_total_seconds else float("inf"),
+        "series_single_process_seconds": round(single_seconds, 3),
+        "series_sharded_1_worker_seconds": round(one_seconds, 3),
+        "series_sharded_n_worker_seconds": round(many_seconds, 3),
+        "series_sharded_inline_seconds": round(inline_seconds, 3),
+        "series_speedup_vs_1_worker": round(speedup, 2),
+        "weight_single_seconds": round(weight_seconds, 4),
+        "weight_sharded_seconds": round(sharded_weight_seconds, 4),
+        "bit_identical": True,
+    }
+    if FULL:
+        with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    print()
+    mode = "full" if FULL else "smoke"
+    print(
+        f"sharded scan ({mode}), scale={BENCH_SCALE}, {blocks} blocks, "
+        f"{ROUNDS} rounds, {SHARDS} shards, {cores} cores:"
+    )
+    print(f"  single process   {single_seconds:8.3f} s")
+    print(f"  sharded @1       {one_seconds:8.3f} s")
+    print(
+        f"  sharded @{pool_workers}       {many_seconds:8.3f} s   "
+        f"({speedup:.2f}x vs 1 worker)"
+    )
+    print(
+        f"  tables: persist {persist_seconds:.3f} s, re-attach "
+        f"{attach_total_seconds * 1e3:.2f} ms "
+        f"(rebuild was {rebuild_seconds:.1f} s)"
+    )
+    if FULL:
+        print(f"  (recorded in {os.path.basename(RESULT_PATH)})")
+
+    benchmark.pedantic(
+        lambda: ShardPlan.split(blocks, SHARDS), rounds=1, iterations=1
+    )

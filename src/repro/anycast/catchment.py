@@ -161,6 +161,23 @@ class ArrayCatchmentMap(CatchmentMap):
         self._mapping_cache: Optional[Dict[int, str]] = None
         self._mapped_count: Optional[int] = None
 
+    def __getstate__(self) -> Tuple[List[str], np.ndarray, np.ndarray]:
+        """Pickle only the columns, never the lazy dict caches.
+
+        Shard workers ship catchments across process boundaries; the
+        caches are derived data that would bloat the payload (and a
+        fully-materialised dict cache dwarfs the arrays themselves).
+        """
+        return (self._site_codes, self._universe, self._sites)
+
+    def __setstate__(
+        self, state: Tuple[List[str], np.ndarray, np.ndarray]
+    ) -> None:
+        """Restore columns with cold caches (rebuilt lazily on demand)."""
+        self._site_codes, self._universe, self._sites = state
+        self._mapping_cache = None
+        self._mapped_count = None
+
     @classmethod
     def from_mapping(
         cls, site_codes: Iterable[str], mapping: Mapping[int, str]

@@ -118,6 +118,8 @@ def run_stability_series(
     fast: bool = False,
     cache: Optional[RoutingCache] = None,
     parallel: int = 1,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> StabilitySeries:
     """Run the paper's 24-hour stability experiment (§6.3).
 
@@ -127,18 +129,36 @@ def run_stability_series(
     (bit-identical results, ~50x faster — required for paper-scale
     series) and ``parallel`` > 1 fans them out over threads; the scalar
     engine ignores ``parallel`` (its rounds share mutable dataplane
-    state).  The routing state is resolved through ``cache``, so a
-    series over an already-studied policy skips propagation entirely.
+    state).  ``shards``/``workers`` instead fan the fast engine over
+    the block universe in worker processes via
+    :func:`repro.core.sharding.run_sharded_series` (bit-identical
+    again; setting either implies ``fast``).  The routing state is
+    resolved through ``cache``, so a series over an already-studied
+    policy skips propagation entirely.
     """
     observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
+    sharded = shards is not None or workers is not None
     with observer.tracer.span(
-        "experiment.stability_series", rounds=rounds, fast=fast
+        "experiment.stability_series", rounds=rounds, fast=fast or sharded
     ):
         routing = routing_cache.get_or_compute(
             verfploeter.internet, policy or verfploeter.service.default_policy()
         )
-        if fast:
+        if sharded:
+            from repro.core.fastscan import FastScanEngine
+            from repro.core.sharding import run_sharded_series
+
+            engine = FastScanEngine(verfploeter, routing)
+            scans = run_sharded_series(
+                engine,
+                rounds=rounds,
+                shards=shards,
+                workers=workers,
+                interval_seconds=interval_seconds,
+                dataset_prefix="stability",
+            )
+        elif fast:
             from repro.core.fastscan import FastScanEngine
 
             engine = FastScanEngine(verfploeter, routing)

@@ -9,11 +9,21 @@ perfectly tractable vectorised.
 
 The engine precomputes everything round-invariant (permutation domain,
 stable responders, base catchment sites, geography) once per routing
-state, then evaluates each round with a handful of array operations.
-Precomputation itself is columnar: blocks join against the internet's
-block table and the geo database's columnar snapshot with
+state into a :class:`RoundState` — a plain, picklable bundle of numpy
+columns.  Precomputation itself is columnar: blocks join against the
+internet's block table and the geo database's columnar snapshot with
 ``searchsorted``, and per-PoP routing facts are computed once per PoP
 and broadcast, so no per-block Python loop runs at any point.
+
+Round evaluation is a module-level pure function over a
+:class:`RoundState` (:func:`evaluate_round`), so the same code path
+serves both the in-process engine and the multiprocess shard workers
+in :mod:`repro.core.sharding` — bit-identity between the two is by
+construction, not by parallel maintenance of two implementations.
+Every stochastic draw depends only on ``(seed, salt, block, round)``,
+and probe send offsets are recovered per shard through the inverse of
+the global Feistel permutation, so a :meth:`RoundState.shard` slice
+evaluates to exactly the rows the full state would.
 
 Results are columnar end-to-end by default: each round returns an
 :class:`~repro.anycast.catchment.ArrayCatchmentMap` over the engine's
@@ -27,20 +37,25 @@ the equivalence suite compares against.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.anycast.catchment import ArrayCatchmentMap, CatchmentMap
 from repro.bgp import instability as _instability
+from repro.bgp.instability import FlipModelConfig
 from repro.bgp.propagation import RoutingOutcome
 from repro.collector.results import BlockValueMap
 from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
+from repro.errors import ConfigurationError
 from repro.geo.distance import EARTH_RADIUS_KM
 from repro.icmp import latency as _latency
 from repro.obs import Observer
+from repro.probing.order import round_order_seed
 from repro.rng import hash_prefix_np, uniform_from_prefix_np, uniform_unit_np
 from repro.topology import hosts as _hosts
+from repro.topology.hosts import HostModelConfig
 
 _ROUNDS = 4  # Feistel rounds; must match probing.order
 
@@ -75,6 +90,13 @@ class _VectorPermutation:
             left, right = right, left ^ self._round_function(right, round_index)
         return (left << np.uint64(self._half_bits)) | right
 
+    def _feistel_inverse(self, values: np.ndarray) -> np.ndarray:
+        left = values >> np.uint64(self._half_bits)
+        right = values & np.uint64(self._half_mask)
+        for round_index in reversed(range(_ROUNDS)):
+            left, right = right ^ self._round_function(left, round_index), left
+        return (left << np.uint64(self._half_bits)) | right
+
     def permutation(self) -> np.ndarray:
         """``perm[p]`` = hitlist index probed at position ``p``."""
         values = self._feistel(np.arange(self._n, dtype=np.uint64))
@@ -83,6 +105,242 @@ class _VectorPermutation:
             values[out_of_range] = self._feistel(values[out_of_range])
             out_of_range = values >= self._n
         return values.astype(np.int64)
+
+    def positions_of(self, indices: np.ndarray) -> np.ndarray:
+        """Schedule positions of the given hitlist ``indices``.
+
+        The inverse of :meth:`permutation` without materialising the
+        whole domain: decrypt, cycle-walking backwards while the value
+        lands outside ``[0, n)``.  Because the forward walk only ever
+        passes *through* out-of-range values, walking back stops at
+        exactly the position the forward permutation started from.
+        Shard workers use this to recover their rows' send offsets.
+        """
+        values = indices.astype(np.uint64)
+        if (values >= self._n).any():
+            raise ConfigurationError("permutation input outside [0, n)")
+        values = self._feistel_inverse(values)
+        out_of_range = values >= self._n
+        while out_of_range.any():
+            values[out_of_range] = self._feistel_inverse(values[out_of_range])
+            out_of_range = values >= self._n
+        return values.astype(np.int64)
+
+
+@dataclass
+class RoundState:
+    """Everything round-invariant about a scan, as picklable columns.
+
+    One row per hitlist block.  A state is either the full universe
+    (``row_start == 0``, ``rows == n_total``) or a contiguous shard of
+    it produced by :meth:`shard`; every per-row value in a shard is a
+    slice of the full state's value, never recomputed, so shard
+    evaluation is bit-identical to evaluating the same rows in-process.
+    """
+
+    site_codes: List[str]
+    blocks: np.ndarray  # uint64, strictly ascending
+    base: np.ndarray  # int16 site index, -1 = unrouted
+    alternate: np.ndarray  # int16 site index, -1 = none
+    flipper: np.ndarray  # bool
+    participates: np.ndarray  # bool
+    stable: np.ndarray  # bool
+    off_address: np.ndarray  # bool
+    duplicator: np.ndarray  # bool
+    prefixes: Dict[int, np.ndarray]  # salt -> uint64 per-block hash prefix
+    site_rtt: np.ndarray  # (sites, rows) float64 milliseconds
+    access: np.ndarray  # float64 milliseconds
+    lat_ok: np.ndarray  # bool
+    jitter_scale: float
+    host_config: HostModelConfig
+    flip_config: FlipModelConfig
+    late_cutoff: float  # seconds
+    interval: float  # seconds between probes
+    order_parent_seed: int
+    n_total: int  # permutation domain (full universe size)
+    row_start: int = 0  # first hitlist index covered by this state
+
+    @property
+    def rows(self) -> int:
+        """Number of blocks this state covers."""
+        return int(self.blocks.size)
+
+    def shard(self, start: int, stop: int) -> "RoundState":
+        """The contiguous sub-state covering hitlist rows [start, stop)."""
+        if not 0 <= start < stop <= self.rows:
+            raise ConfigurationError(
+                f"shard [{start}, {stop}) outside [0, {self.rows})"
+            )
+        return replace(
+            self,
+            blocks=self.blocks[start:stop],
+            base=self.base[start:stop],
+            alternate=self.alternate[start:stop],
+            flipper=self.flipper[start:stop],
+            participates=self.participates[start:stop],
+            stable=self.stable[start:stop],
+            off_address=self.off_address[start:stop],
+            duplicator=self.duplicator[start:stop],
+            prefixes={salt: arr[start:stop] for salt, arr in self.prefixes.items()},
+            site_rtt=self.site_rtt[:, start:stop],
+            access=self.access[start:stop],
+            lat_ok=self.lat_ok[start:stop],
+            row_start=self.row_start + start,
+        )
+
+
+@dataclass
+class RoundArrays:
+    """One evaluated round, before materialisation into a ScanResult."""
+
+    site: np.ndarray  # int16 replying site per row (meaningful where kept)
+    delay: np.ndarray  # float64 first-reply delay (ms) per row
+    kept_mask: np.ndarray  # bool: row survives cleaning
+    stats: ScanStats
+
+
+def _round_draw(state: RoundState, salt: int, round_id: int) -> np.ndarray:
+    """One per-block uniform draw for this round (prefix finished)."""
+    return uniform_from_prefix_np(state.prefixes[salt], round_id)
+
+
+def send_offsets(state: RoundState, round_id: int) -> np.ndarray:
+    """Seconds after round start each of this state's probes is sent.
+
+    The permutation always spans the *full* ``n_total`` domain — shard
+    boundaries must not change anyone's schedule position.  The full
+    state scatters the forward permutation (one pass); a shard decrypts
+    just its own rows through the inverse Feistel.  Both paths multiply
+    the identical integer position by the identical float interval, so
+    the offsets are bit-equal.
+    """
+    seed = round_order_seed(state.order_parent_seed, round_id)
+    perm = _VectorPermutation(state.n_total, seed)
+    if state.row_start == 0 and state.rows == state.n_total:
+        offsets = np.empty(state.n_total, dtype=np.float64)
+        offsets[perm.permutation()] = (
+            np.arange(state.n_total, dtype=np.float64) * state.interval
+        )
+        return offsets
+    rows = np.arange(
+        state.row_start, state.row_start + state.rows, dtype=np.uint64
+    )
+    return perm.positions_of(rows).astype(np.float64) * state.interval
+
+
+def evaluate_round(state: RoundState, round_id: int) -> RoundArrays:
+    """One measurement round over ``state`` (pure array passes).
+
+    Module-level so process-pool workers can evaluate pickled shard
+    states with the very code the in-process engine runs.
+    """
+    cfg = state.host_config
+    n = state.rows
+    responds = state.stable & (
+        _round_draw(state, _hosts._CHURN_SALT, round_id) >= cfg.churn_probability
+    )
+
+    # Site selection with per-round flips.
+    flip_draw = _round_draw(state, _instability._FLIP_SALT, round_id)
+    has_alternate = state.alternate >= 0
+    flips = has_alternate & (
+        (state.participates & (flip_draw < state.flip_config.flipper_flip_probability))
+        | (~state.flipper & (flip_draw < state.flip_config.background_flip_probability))
+    )
+    site = np.where(flips, state.alternate, state.base)
+    delivered = responds & (site >= 0)
+
+    # Reply counts (duplicates).
+    tail = _round_draw(state, _hosts._DUPN_SALT, round_id)
+    heavy = tail < cfg.heavy_duplicate_fraction
+    counts = np.ones(n, dtype=np.int64)
+    counts[state.duplicator & ~heavy] = 2
+    heaviness = tail / cfg.heavy_duplicate_fraction
+    heavy_counts = 3 + ((cfg.max_duplicates - 3) * heaviness).astype(np.int64)
+    counts = np.where(state.duplicator & heavy, heavy_counts, counts)
+    counts = np.where(delivered, counts, 0)
+
+    # First-reply delay (milliseconds), mirroring the dataplane.
+    latency_draw = _round_draw(state, _hosts._LATENCY_SALT, round_id)
+    late_replier = (
+        _round_draw(state, _hosts._LATE_SALT, round_id) < cfg.late_fraction
+    )
+    host_delay = np.where(
+        late_replier,
+        cfg.late_threshold_ms * (1.0 + 4.0 * latency_draw),
+        10.0 + 390.0 * latency_draw,
+    )
+    jitter = state.jitter_scale * _round_draw(state, _latency._JITTER_SALT, round_id)
+    site_clamped = np.clip(site, 0, len(state.site_codes) - 1)
+    path_delay = (
+        state.site_rtt[site_clamped, np.arange(n)] + state.access + jitter
+    )
+    use_path = state.lat_ok & ~late_replier & (site >= 0)
+    delay = np.where(use_path, path_delay, host_delay)
+
+    # Cleaning: how many of each block's replies beat the cut-off?
+    offsets = send_offsets(state, round_id)
+    first_rel = offsets + delay / 1000.0
+    dup_gap = 0.1 / 1000.0  # duplicates trail by 0.1 ms
+    within = np.floor((state.late_cutoff - first_rel) / dup_gap) + 1
+    within = np.clip(within, 0, counts).astype(np.int64)
+    within = np.where(first_rel <= state.late_cutoff, within, 0)
+    within = np.where(delivered, within, 0)
+
+    received = int(counts.sum())
+    unsolicited_mask = delivered & state.off_address
+    unsolicited = int(counts[unsolicited_mask].sum())
+    countable = delivered & ~state.off_address
+    late = int((counts[countable] - within[countable]).sum())
+    kept_mask = countable & (within >= 1)
+    duplicates = int((within[kept_mask] - 1).sum())
+    kept = int(kept_mask.sum())
+
+    stats = ScanStats(
+        probes_sent=n,
+        replies_received=received,
+        wrong_round=0,
+        unsolicited=unsolicited,
+        late=late,
+        duplicates=duplicates,
+        kept=kept,
+    )
+    return RoundArrays(site=site, delay=delay, kept_mask=kept_mask, stats=stats)
+
+
+def materialise_columnar(
+    state: RoundState,
+    arrays: RoundArrays,
+    round_id: int,
+    start_time: float,
+    dataset_id: str,
+) -> ScanResult:
+    """Columnar ScanResult over ``state``'s block universe.
+
+    ``state.blocks`` becomes the shared universe array of every round
+    materialised from the same state, so same-universe diffs stay pure
+    array compares and pickling a list of rounds serialises the
+    universe once (pickle memoises the shared ndarray).
+    """
+    catchment = ArrayCatchmentMap(
+        state.site_codes,
+        state.blocks,
+        np.where(arrays.kept_mask, arrays.site, np.int16(-1)).astype(np.int16),
+        validate=False,
+    )
+    rtts = BlockValueMap(
+        state.blocks[arrays.kept_mask].astype(np.int64),
+        arrays.delay[arrays.kept_mask],
+    )
+    return ScanResult(
+        dataset_id=dataset_id,
+        round_id=round_id,
+        start_time=start_time,
+        duration_seconds=state.rows * state.interval,
+        catchment=catchment,
+        stats=arrays.stats,
+        rtts=rtts,
+    )
 
 
 class FastScanEngine:
@@ -101,25 +359,26 @@ class FastScanEngine:
         )
         self.routing = routing if routing is not None else verfploeter.routing_for()
         self.columnar = columnar
+        self._prober = verfploeter._prober
         with self.observer.tracer.span(
             "fastscan.precompute", columnar=columnar
         ) as span:
             with self.observer.profile("fastscan.precompute"):
-                self._precompute(verfploeter)
-            span.set(blocks=self._n, sites=len(self._site_codes))
+                self.state = self._precompute(verfploeter)
+            span.set(blocks=self.state.rows, sites=len(self.state.site_codes))
 
-    def _precompute(self, verfploeter: Verfploeter) -> None:
+    def _precompute(self, verfploeter: Verfploeter) -> RoundState:
         """Build every round-invariant array (one pass per routing state)."""
         internet = verfploeter.internet
-        self._seed = internet.seed
-        self._host_config = internet.host_model.config
-        self._flip_config = self.routing.flip_model.config
+        seed = internet.seed
+        host_config = internet.host_model.config
+        flip_config = self.routing.flip_model.config
 
         hitlist = verfploeter.hitlist
-        self._n = len(hitlist)
-        self._blocks = np.array(hitlist.blocks, dtype=np.uint64)
-        self._site_codes = list(self.routing.policy.site_codes)
-        site_index = {code: i for i, code in enumerate(self._site_codes)}
+        n = len(hitlist)
+        blocks = np.array(hitlist.blocks, dtype=np.uint64)
+        site_codes = list(self.routing.policy.site_codes)
+        site_index = {code: i for i, code in enumerate(site_codes)}
 
         # --- per-block round-invariant state (bulk joins, no block loop) --
         # Routing facts vary per PoP, not per block: compute site / alternate /
@@ -140,7 +399,7 @@ class FastScanEngine:
                 pop_alternate[pop.pop_id] = site_index[alternate]
 
         table_blocks, _, table_pops = internet.block_table()
-        signed_blocks = self._blocks.astype(np.int64)
+        signed_blocks = blocks.astype(np.int64)
         rows = np.searchsorted(table_blocks, signed_blocks)
         rows = np.minimum(rows, max(table_blocks.size - 1, 0))
         populated = (table_blocks.size > 0) & (table_blocks[rows] == signed_blocks)
@@ -151,9 +410,6 @@ class FastScanEngine:
             has_site, pop_alternate[block_pops], np.int16(-1)
         ).astype(np.int16)
         flipper = has_site & pop_flipper[block_pops]
-        self._base = base
-        self._alternate = alternate
-        self._flipper = flipper
 
         # Geography joins against the geo database's columnar snapshot;
         # responsiveness thresholds are per country, broadcast to blocks.
@@ -174,32 +430,29 @@ class FastScanEngine:
                 base_threshold,
             )
         else:
-            threshold = np.full(self._n, base_threshold, dtype=np.float64)
+            threshold = np.full(n, base_threshold, dtype=np.float64)
 
         # --- round-invariant stochastic masks ----------------------------
-        cfg = self._host_config
-        self._stable = (
-            uniform_unit_np(self._seed, _hosts._STABLE_SALT, self._blocks)
-            < threshold
-        )
-        self._off_address = (
-            uniform_unit_np(self._seed, _hosts._OFFADDR_SALT, self._blocks)
+        cfg = host_config
+        stable = uniform_unit_np(seed, _hosts._STABLE_SALT, blocks) < threshold
+        off_address = (
+            uniform_unit_np(seed, _hosts._OFFADDR_SALT, blocks)
             < cfg.off_address_fraction
         )
-        self._duplicator = (
-            uniform_unit_np(self._seed, _hosts._DUP_SALT, self._blocks)
+        duplicator = (
+            uniform_unit_np(seed, _hosts._DUP_SALT, blocks)
             < cfg.duplicate_fraction
         )
-        self._participates = self._flipper & (
-            uniform_unit_np(self._seed, _instability._PARTICIPATE_SALT, self._blocks)
-            < self._flip_config.flipper_block_fraction
+        participates = flipper & (
+            uniform_unit_np(seed, _instability._PARTICIPATE_SALT, blocks)
+            < flip_config.flipper_block_fraction
         )
 
         # Per-round draws share a round-invariant hash prefix over
         # (seed, salt, blocks); each round then needs only one array
         # mix pass to absorb the round id.
-        self._round_prefixes = {
-            salt: hash_prefix_np(self._seed, salt, self._blocks)
+        prefixes = {
+            salt: hash_prefix_np(seed, salt, blocks)
             for salt in (
                 _hosts._CHURN_SALT,
                 _hosts._DUPN_SALT,
@@ -212,11 +465,11 @@ class FastScanEngine:
 
         # --- latency precomputation ---------------------------------------
         lm = verfploeter.latency_model
-        self._lat_ok = ~np.isnan(lat)
-        self._site_rtt = np.full((len(self._site_codes), self._n), np.nan)
+        lat_ok = ~np.isnan(lat)
+        site_rtt = np.full((len(site_codes), n), np.nan)
         lat_rad = np.radians(lat)
         lon_rad = np.radians(lon)
-        for index, code in enumerate(self._site_codes):
+        for index, code in enumerate(site_codes):
             site = verfploeter.service.site(code)
             site_lat = np.radians(site.latitude)
             site_lon = np.radians(site.longitude)
@@ -227,36 +480,39 @@ class FastScanEngine:
                 + np.cos(lat_rad) * np.cos(site_lat) * np.sin(half_dlon) ** 2
             )
             distance = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0, 1)))
-            self._site_rtt[index] = (
-                2.0 * lm._stretch * distance / _latency.KM_PER_MS
-            )
-        access_draw = uniform_unit_np(self._seed, _latency._ACCESS_SALT, self._blocks)
+            site_rtt[index] = 2.0 * lm._stretch * distance / _latency.KM_PER_MS
+        access_draw = uniform_unit_np(seed, _latency._ACCESS_SALT, blocks)
         low, high = lm._access_range
-        self._access = low + (high - low) * access_draw * access_draw
-        self._jitter_scale = lm._jitter
+        access = low + (high - low) * access_draw * access_draw
 
-        self._prober = verfploeter._prober
-        self._interval = 1.0 / verfploeter.prober_config.rate_pps
-        self._late_cutoff = verfploeter.cleaning.late_cutoff_seconds
-        self._row_index = np.arange(self._n)
-        self._position_offsets = (
-            np.arange(self._n, dtype=np.float64) * self._interval
+        return RoundState(
+            site_codes=site_codes,
+            blocks=blocks,
+            base=base,
+            alternate=alternate,
+            flipper=flipper,
+            participates=participates,
+            stable=stable,
+            off_address=off_address,
+            duplicator=duplicator,
+            prefixes=prefixes,
+            site_rtt=site_rtt,
+            access=access,
+            lat_ok=lat_ok,
+            jitter_scale=lm._jitter,
+            host_config=host_config,
+            flip_config=flip_config,
+            late_cutoff=verfploeter.cleaning.late_cutoff_seconds,
+            interval=1.0 / verfploeter.prober_config.rate_pps,
+            order_parent_seed=verfploeter._prober._seed,
+            n_total=n,
         )
 
     # -- per-round evaluation ---------------------------------------------
 
-    def _round_draw(self, salt: int, round_id: int) -> np.ndarray:
-        """One per-block uniform draw for this round (prefix finished)."""
-        return uniform_from_prefix_np(self._round_prefixes[salt], round_id)
-
     def _send_offsets(self, round_id: int) -> np.ndarray:
-        """Seconds after round start each hitlist entry's probe is sent."""
-        # One derivation site: reuse the scalar prober's stream so both
-        # engines walk the identical permutation.
-        perm = _VectorPermutation(self._n, self._prober.order_seed(round_id)).permutation()
-        offsets = np.empty(self._n, dtype=np.float64)
-        offsets[perm] = self._position_offsets
-        return offsets
+        """Per-block send offsets of one round (the prober's schedule)."""
+        return send_offsets(self.state, round_id)
 
     def run_scan(
         self,
@@ -299,116 +555,31 @@ class FastScanEngine:
         start_time: float,
         dataset_id: Optional[str],
     ) -> ScanResult:
-        """The uninstrumented round evaluation (pure array passes)."""
-        cfg = self._host_config
-        blocks = self._blocks
-        responds = self._stable & (
-            self._round_draw(_hosts._CHURN_SALT, round_id)
-            >= cfg.churn_probability
-        )
-
-        # Site selection with per-round flips.
-        flip_draw = self._round_draw(_instability._FLIP_SALT, round_id)
-        has_alternate = self._alternate >= 0
-        flips = has_alternate & (
-            (self._participates & (flip_draw < self._flip_config.flipper_flip_probability))
-            | (~self._flipper & (flip_draw < self._flip_config.background_flip_probability))
-        )
-        site = np.where(flips, self._alternate, self._base)
-        delivered = responds & (site >= 0)
-
-        # Reply counts (duplicates).
-        tail = self._round_draw(_hosts._DUPN_SALT, round_id)
-        heavy = tail < cfg.heavy_duplicate_fraction
-        counts = np.ones(self._n, dtype=np.int64)
-        counts[self._duplicator & ~heavy] = 2
-        heaviness = tail / cfg.heavy_duplicate_fraction
-        heavy_counts = 3 + ((cfg.max_duplicates - 3) * heaviness).astype(np.int64)
-        counts = np.where(self._duplicator & heavy, heavy_counts, counts)
-        counts = np.where(delivered, counts, 0)
-
-        # First-reply delay (milliseconds), mirroring the dataplane.
-        latency_draw = self._round_draw(_hosts._LATENCY_SALT, round_id)
-        late_replier = (
-            self._round_draw(_hosts._LATE_SALT, round_id) < cfg.late_fraction
-        )
-        host_delay = np.where(
-            late_replier,
-            cfg.late_threshold_ms * (1.0 + 4.0 * latency_draw),
-            10.0 + 390.0 * latency_draw,
-        )
-        jitter = self._jitter_scale * self._round_draw(
-            _latency._JITTER_SALT, round_id
-        )
-        site_clamped = np.clip(site, 0, len(self._site_codes) - 1)
-        path_delay = (
-            self._site_rtt[site_clamped, self._row_index]
-            + self._access
-            + jitter
-        )
-        use_path = self._lat_ok & ~late_replier & (site >= 0)
-        delay = np.where(use_path, path_delay, host_delay)
-
-        # Cleaning: how many of each block's replies beat the cut-off?
-        offsets = self._send_offsets(round_id)
-        first_rel = offsets + delay / 1000.0
-        dup_gap = 0.1 / 1000.0  # duplicates trail by 0.1 ms
-        within = np.floor((self._late_cutoff - first_rel) / dup_gap) + 1
-        within = np.clip(within, 0, counts).astype(np.int64)
-        within = np.where(first_rel <= self._late_cutoff, within, 0)
-        within = np.where(delivered, within, 0)
-
-        received = int(counts.sum())
-        unsolicited_mask = delivered & self._off_address
-        unsolicited = int(counts[unsolicited_mask].sum())
-        countable = delivered & ~self._off_address
-        late = int((counts[countable] - within[countable]).sum())
-        kept_mask = countable & (within >= 1)
-        duplicates = int((within[kept_mask] - 1).sum())
-        kept = int(kept_mask.sum())
-
+        """Evaluate one round and materialise it (columnar or reference)."""
+        state = self.state
+        arrays = evaluate_round(state, round_id)
+        label = dataset_id or f"fast-r{round_id}"
         if self.columnar:
-            # The universe array is shared across every round this engine
-            # produces, so consecutive-round diffs are pure array compares.
-            catchment: CatchmentMap = ArrayCatchmentMap(
-                self._site_codes,
-                blocks,
-                np.where(kept_mask, site, np.int16(-1)).astype(np.int16),
-                validate=False,
-            )
-            rtts = BlockValueMap(
-                blocks[kept_mask].astype(np.int64), delay[kept_mask]
-            )
-        else:
-            # Dict-backed reference materialisation (equivalence baseline).
-            mapping: Dict[int, str] = {}
-            rtt_dict: Dict[int, float] = {}
-            kept_blocks = blocks[kept_mask].astype(np.int64)
-            kept_sites = site[kept_mask]
-            kept_delays = delay[kept_mask]
-            for block, site_idx, block_delay in zip(kept_blocks, kept_sites, kept_delays):
-                mapping[int(block)] = self._site_codes[site_idx]  # reprolint: disable=D110 — reference path
-                rtt_dict[int(block)] = float(block_delay)  # reprolint: disable=D110 — reference path
-            catchment = CatchmentMap(self._site_codes, mapping)
-            rtts = rtt_dict
+            return materialise_columnar(state, arrays, round_id, start_time, label)
 
-        stats = ScanStats(
-            probes_sent=self._n,
-            replies_received=received,
-            wrong_round=0,
-            unsolicited=unsolicited,
-            late=late,
-            duplicates=duplicates,
-            kept=kept,
-        )
+        # Dict-backed reference materialisation (equivalence baseline).
+        mapping: Dict[int, str] = {}
+        rtt_dict: Dict[int, float] = {}
+        kept_blocks = state.blocks[arrays.kept_mask].astype(np.int64)
+        kept_sites = arrays.site[arrays.kept_mask]
+        kept_delays = arrays.delay[arrays.kept_mask]
+        for block, site_idx, block_delay in zip(kept_blocks, kept_sites, kept_delays):
+            mapping[int(block)] = state.site_codes[site_idx]  # reprolint: disable=D110 — reference path
+            rtt_dict[int(block)] = float(block_delay)  # reprolint: disable=D110 — reference path
+        catchment: CatchmentMap = CatchmentMap(state.site_codes, mapping)
         return ScanResult(
-            dataset_id=dataset_id or f"fast-r{round_id}",
+            dataset_id=label,
             round_id=round_id,
             start_time=start_time,
-            duration_seconds=self._n * self._interval,
+            duration_seconds=state.rows * state.interval,
             catchment=catchment,
-            stats=stats,
-            rtts=rtts,
+            stats=arrays.stats,
+            rtts=rtt_dict,
         )
 
     def run_series(
@@ -424,7 +595,8 @@ class FastScanEngine:
         (mirroring the experiment drivers' opt-in fan-out): each round
         reads only the engine's immutable precomputed arrays, so the
         fan-out changes wall-clock time, never results.  Results keep
-        round order either way.
+        round order either way.  For process-level fan-out sharded over
+        the block universe, see :func:`repro.core.sharding.run_sharded_series`.
         """
 
         def one_round(round_id: int) -> ScanResult:

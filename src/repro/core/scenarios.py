@@ -22,13 +22,23 @@ from repro.traffic.ditl import build_day_load
 from repro.traffic.logs import DayLoad
 from repro.traffic.workload import WorkloadProfile, nl_profile, root_profile
 
-#: Scale presets: (tier1, transit, stub, max_blocks_per_prefix).
-SCALES: Dict[str, Tuple[int, int, int, int]] = {
-    "tiny": (4, 16, 80, 8),
-    "small": (6, 50, 400, 24),
-    "medium": (8, 100, 1200, 48),
-    "large": (10, 200, 3000, 64),
+#: Scale presets: (tier1, transit, stub, max_blocks_per_prefix,
+#: block_density_scale).  ``xlarge`` pushes the populated universe
+#: past a million /24 blocks — the regime the sharded scan engine
+#: and the paper's whole-Internet maps target.
+SCALES: Dict[str, Tuple[int, int, int, int, float]] = {
+    "tiny": (4, 16, 80, 8, 1.0),
+    "small": (6, 50, 400, 24, 1.0),
+    "medium": (8, 100, 1200, 48, 1.0),
+    "large": (10, 200, 3000, 64, 1.0),
+    "xlarge": (12, 2000, 10000, 1024, 8.0),
 }
+
+#: Address pools per scale.  ``xlarge`` carves from a /2 (4.2M /24
+#: spans) so a million-plus populated blocks fit; every other scale
+#: keeps the historical /5 so existing layouts are bit-unchanged.
+_DEFAULT_POOL = "8.0.0.0/5"
+_SCALE_POOLS: Dict[str, str] = {"xlarge": "64.0.0.0/2"}
 
 #: Verfploeter sees ~430x more blocks than Atlas (paper Table 4); VP
 #: counts scale with topology size to preserve roughly that ratio.
@@ -88,7 +98,7 @@ class Scenario:
         )
 
 
-def _scale_params(scale: str) -> Tuple[int, int, int, int]:
+def _scale_params(scale: str) -> Tuple[int, int, int, int, float]:
     try:
         return SCALES[scale]
     except KeyError:
@@ -123,7 +133,7 @@ def broot_like(scale: str = "small", seed: int = 42,
     the paper notes AMPATH "is very well connected in Brazil and
     Argentina").
     """
-    tier1, transit, stub, blocks_cap = _scale_params(scale)
+    tier1, transit, stub, blocks_cap, density = _scale_params(scale)
     seeded = _GIANTS + (
         SeededAS(
             # LAX's upstream (modelled on AS226/Los Nettos): multihomed
@@ -148,6 +158,8 @@ def broot_like(scale: str = "small", seed: int = 42,
             transit_count=transit,
             stub_count=stub,
             max_blocks_per_prefix=blocks_cap,
+            block_density_scale=density,
+            address_pool=_SCALE_POOLS.get(scale, _DEFAULT_POOL),
             seeded_ases=seeded,
         )
     )
@@ -175,7 +187,7 @@ def tangled_like(scale: str = "small", seed: int = 1337,
     Tokyo site's upstream (WIDE) is weakly connected, so it attracts
     little traffic.
     """
-    tier1, transit, stub, blocks_cap = _scale_params(scale)
+    tier1, transit, stub, blocks_cap, density = _scale_params(scale)
     seeded = _GIANTS + (
         SeededAS("VULTR", "transit", "US", ("AU", "FR", "GB"), ((19, 1),),
                  provider_names=("TIER1-0", "TIER1-1")),
@@ -197,6 +209,8 @@ def tangled_like(scale: str = "small", seed: int = 1337,
             transit_count=transit,
             stub_count=stub,
             max_blocks_per_prefix=blocks_cap,
+            block_density_scale=density,
+            address_pool=_SCALE_POOLS.get(scale, _DEFAULT_POOL),
             seeded_ases=seeded,
         )
     )
@@ -233,7 +247,7 @@ def nl_like(scale: str = "small", seed: int = 2017,
     "service" is a two-site stand-in whose interest is purely its
     NL-centric workload profile.
     """
-    tier1, transit, stub, blocks_cap = _scale_params(scale)
+    tier1, transit, stub, blocks_cap, density = _scale_params(scale)
     seeded = _GIANTS + (
         SeededAS("SIDN-NET", "transit", "NL", ("NL",), ((19, 1),),
                  provider_names=("TIER1-0",)),
@@ -247,6 +261,8 @@ def nl_like(scale: str = "small", seed: int = 2017,
             transit_count=transit,
             stub_count=stub,
             max_blocks_per_prefix=blocks_cap,
+            block_density_scale=density,
+            address_pool=_SCALE_POOLS.get(scale, _DEFAULT_POOL),
             seeded_ases=seeded,
         )
     )
@@ -315,7 +331,7 @@ def cdn_like(scale: str = "small", seed: int = 4242,
     seven regional upstream ASes, so shared-upstream dynamics (several
     sites per upstream, hot-potato splits) occur at CDN scale.
     """
-    tier1, transit, stub, blocks_cap = _scale_params(scale)
+    tier1, transit, stub, blocks_cap, density = _scale_params(scale)
     internet = build_internet(
         TopologyConfig(
             seed=seed,
@@ -323,6 +339,8 @@ def cdn_like(scale: str = "small", seed: int = 4242,
             transit_count=transit,
             stub_count=stub,
             max_blocks_per_prefix=blocks_cap,
+            block_density_scale=density,
+            address_pool=_SCALE_POOLS.get(scale, _DEFAULT_POOL),
             seeded_ases=_GIANTS + _CDN_UPSTREAMS,
         )
     )

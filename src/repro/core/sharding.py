@@ -1,0 +1,452 @@
+"""Sharded multiprocess scanning and load weighting.
+
+The paper maps catchments for the whole responsive IPv4 Internet —
+millions of /24 blocks — which wants more than one core.  This module
+partitions the shared uint64 block universe into contiguous ranges
+(:class:`ShardPlan`), fans :func:`repro.core.fastscan.evaluate_round`
+and the load-weighting join across a ``ProcessPoolExecutor`` of
+top-level (spawn-safe, picklable) workers, and deterministically
+concatenates the per-shard columns back into full-universe results.
+
+The merged output is **bit-identical** to the single-process path, by
+construction rather than by luck:
+
+* every stochastic draw in the engine depends only on
+  ``(seed, salt, block, round)`` via ``hash_prefix_np``, so a shard's
+  rows evaluate to exactly the values the full pass would produce;
+* probe send offsets — the one cross-block coupling — are recovered
+  per shard through the inverse of the *global* Feistel permutation
+  (:meth:`_VectorPermutation.positions_of`), multiplying the identical
+  integer position by the identical float interval;
+* float accumulations are never merged as per-shard partial sums
+  (float addition is not associative).  Sharded weighting splits the
+  exact-integer join by traffic rows and fans whole hour columns —
+  each a complete single-pass ``bincount`` — across workers, so every
+  float64 accumulator sees the identical sequence of additions.
+
+This is the only module in the library allowed to touch
+``ProcessPoolExecutor``/``multiprocessing`` (reprolint rule D112), and
+every pool target here is a module-level function.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.anycast.catchment import ArrayCatchmentMap
+from repro.collector.results import BlockValueMap, ScanResult, ScanStats
+from repro.core.fastscan import (
+    FastScanEngine,
+    RoundState,
+    evaluate_round,
+    materialise_columnar,
+)
+from repro.errors import ConfigurationError, DatasetError, EquivalenceError
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import UNKNOWN, SiteLoad
+from repro.obs import NULL_OBSERVER, Observer
+from repro.traffic.logs import HOURS
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of ``[0, universe_size)`` into contiguous ranges."""
+
+    universe_size: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.universe_size <= 0:
+            raise ConfigurationError("shard plan needs a non-empty universe")
+        if not self.bounds:
+            raise ConfigurationError("shard plan needs at least one shard")
+        cursor = 0
+        for start, stop in self.bounds:
+            if start != cursor or stop <= start:
+                raise ConfigurationError(
+                    f"shard bounds must tile the universe; got {self.bounds}"
+                )
+            cursor = stop
+        if cursor != self.universe_size:
+            raise ConfigurationError(
+                f"shard bounds cover [0, {cursor}), universe is "
+                f"[0, {self.universe_size})"
+            )
+
+    @classmethod
+    def split(cls, universe_size: int, shards: int) -> "ShardPlan":
+        """Near-equal contiguous split (first remainder shards get +1).
+
+        ``shards`` is clamped to ``universe_size`` so no shard is
+        empty; the split depends only on the two integers, never on
+        worker count or timing.
+        """
+        if universe_size <= 0:
+            raise ConfigurationError("shard plan needs a non-empty universe")
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        shards = min(shards, universe_size)
+        base, remainder = divmod(universe_size, shards)
+        bounds: List[Tuple[int, int]] = []
+        cursor = 0
+        for index in range(shards):
+            size = base + (1 if index < remainder else 0)
+            bounds.append((cursor, cursor + size))
+            cursor += size
+        return cls(universe_size=universe_size, bounds=tuple(bounds))
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.bounds)
+
+    def sizes(self) -> List[int]:
+        """Rows per shard."""
+        return [stop - start for start, stop in self.bounds]
+
+    def imbalance(self) -> float:
+        """Largest shard over mean shard size (1.0 = perfectly even)."""
+        sizes = self.sizes()
+        return max(sizes) * len(sizes) / self.universe_size
+
+
+def assert_buffers_equal(actual, expected, label: str = "array") -> None:
+    """Assert two arrays are bit-identical (dtype, shape, and bytes).
+
+    Bitwise, not ``allclose``: the sharded paths promise exact
+    reproduction of the single-process results, so the comparison is on
+    raw buffers.  Used by the equivalence tests and the benchmark.
+    """
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    if actual.dtype != expected.dtype:
+        raise EquivalenceError(
+            f"{label}: dtype {actual.dtype} != {expected.dtype}"
+        )
+    if actual.shape != expected.shape:
+        raise EquivalenceError(
+            f"{label}: shape {actual.shape} != {expected.shape}"
+        )
+    actual_bytes = np.frombuffer(actual.tobytes(), dtype=np.uint8)
+    expected_bytes = np.frombuffer(expected.tobytes(), dtype=np.uint8)
+    if not np.array_equal(actual_bytes, expected_bytes):
+        first_byte = int(np.nonzero(actual_bytes != expected_bytes)[0][0])
+        element = first_byte // max(actual.itemsize, 1)
+        raise EquivalenceError(
+            f"{label}: buffers differ (first differing element index "
+            f"{element} of {actual.size})"
+        )
+
+
+def assert_scan_results_identical(actual: ScanResult, expected: ScanResult) -> None:
+    """Assert two columnar scan results match bit for bit."""
+    if actual.dataset_id != expected.dataset_id:
+        raise EquivalenceError(
+            f"dataset_id {actual.dataset_id!r} != {expected.dataset_id!r}"
+        )
+    if actual.round_id != expected.round_id:
+        raise EquivalenceError(f"round_id {actual.round_id} != {expected.round_id}")
+    if (actual.start_time, actual.duration_seconds) != (
+        expected.start_time,
+        expected.duration_seconds,
+    ):
+        raise EquivalenceError("start_time/duration differ")
+    if actual.stats != expected.stats:
+        raise EquivalenceError(f"stats {actual.stats} != {expected.stats}")
+    assert_buffers_equal(
+        actual.catchment.universe, expected.catchment.universe, "catchment.universe"
+    )
+    assert_buffers_equal(
+        actual.catchment.site_index_array,
+        expected.catchment.site_index_array,
+        "catchment.sites",
+    )
+    assert_buffers_equal(
+        actual.rtts.block_array(), expected.rtts.block_array(), "rtts.blocks"
+    )
+    assert_buffers_equal(
+        actual.rtts.value_array(), expected.rtts.value_array(), "rtts.values"
+    )
+
+
+def assert_site_loads_identical(actual: SiteLoad, expected: SiteLoad) -> None:
+    """Assert two site loads match bit for bit (daily and hourly)."""
+    if actual.site_codes != expected.site_codes:
+        raise EquivalenceError("site_codes differ")
+    for code in (*expected.site_codes, UNKNOWN):
+        if actual.daily_of(code) != expected.daily_of(code):
+            raise EquivalenceError(
+                f"daily[{code}]: {actual.daily_of(code)!r} != "
+                f"{expected.daily_of(code)!r}"
+            )
+        assert_buffers_equal(
+            actual.hourly_of(code), expected.hourly_of(code), f"hourly[{code}]"
+        )
+
+
+def merge_stats(parts: Sequence[ScanStats]) -> ScanStats:
+    """Sum per-shard scan statistics (all fields are exact integers)."""
+    return ScanStats(
+        probes_sent=sum(part.probes_sent for part in parts),
+        replies_received=sum(part.replies_received for part in parts),
+        wrong_round=sum(part.wrong_round for part in parts),
+        unsolicited=sum(part.unsolicited for part in parts),
+        late=sum(part.late for part in parts),
+        duplicates=sum(part.duplicates for part in parts),
+        kept=sum(part.kept for part in parts),
+    )
+
+
+def _resolve_fanout(shards: Optional[int], workers: Optional[int]) -> Tuple[int, int]:
+    """Fill in the shard/worker defaults (workers=0 means run inline)."""
+    if shards is None:
+        shards = workers if workers else 1
+    if workers is None:
+        workers = min(shards, len(os.sched_getaffinity(0)))
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if workers < 0:
+        raise ConfigurationError("workers must be >= 0")
+    return shards, workers
+
+
+# -- process-pool workers (top-level so they pickle under spawn) -----------
+
+
+def _scan_shard_worker(payload) -> List[ScanResult]:
+    """Evaluate every round of one shard; returns per-round results.
+
+    The returned results all reference the shard's universe array
+    through the shared ``RoundState``, so pickling the list serialises
+    that universe once (pickle memoises the ndarray object).
+    """
+    state, rounds, interval_seconds, dataset_prefix = payload
+    results: List[ScanResult] = []
+    for round_id in range(rounds):
+        arrays = evaluate_round(state, round_id)
+        results.append(
+            materialise_columnar(
+                state,
+                arrays,
+                round_id,
+                round_id * interval_seconds,
+                f"{dataset_prefix}-r{round_id:03d}",
+            )
+        )
+    return results
+
+
+def _join_shard_worker(payload) -> np.ndarray:
+    """Resolve one slice of traffic blocks to site indices (int16)."""
+    site_codes, universe, sites, traffic_blocks = payload
+    catchment = ArrayCatchmentMap(site_codes, universe, sites, validate=False)
+    return catchment.site_indices_of(traffic_blocks)
+
+
+def _hour_columns_worker(payload) -> np.ndarray:
+    """Accumulate a chunk of whole hour columns (exact single passes)."""
+    buckets, columns, minlength = payload
+    out = np.empty((minlength, columns.shape[1]), dtype=np.float64)
+    for offset in range(columns.shape[1]):
+        out[:, offset] = np.bincount(
+            buckets, weights=columns[:, offset], minlength=minlength
+        )
+    return out
+
+
+# -- sharded scan series ---------------------------------------------------
+
+
+def _merge_round(
+    state: RoundState,
+    shard_rounds: Sequence[ScanResult],
+    round_id: int,
+    interval_seconds: float,
+    dataset_prefix: str,
+) -> ScanResult:
+    """Concatenate one round's shard columns into a full-universe result."""
+    site_parts = [result.catchment.site_index_array for result in shard_rounds]
+    sites = site_parts[0] if len(site_parts) == 1 else np.concatenate(site_parts)
+    catchment = ArrayCatchmentMap(
+        state.site_codes, state.blocks, sites, validate=False
+    )
+    block_parts = [result.rtts.block_array() for result in shard_rounds]
+    value_parts = [result.rtts.value_array() for result in shard_rounds]
+    rtts = BlockValueMap(
+        block_parts[0] if len(block_parts) == 1 else np.concatenate(block_parts),
+        value_parts[0] if len(value_parts) == 1 else np.concatenate(value_parts),
+    )
+    return ScanResult(
+        dataset_id=f"{dataset_prefix}-r{round_id:03d}",
+        round_id=round_id,
+        start_time=round_id * interval_seconds,
+        duration_seconds=state.n_total * state.interval,
+        catchment=catchment,
+        stats=merge_stats([result.stats for result in shard_rounds]),
+        rtts=rtts,
+    )
+
+
+def run_sharded_series(
+    engine: FastScanEngine,
+    rounds: int,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    interval_seconds: float = 900.0,
+    dataset_prefix: str = "fast-series",
+    observer: Optional[Observer] = None,
+) -> List[ScanResult]:
+    """A stability series fanned across block shards and worker processes.
+
+    Equivalent to ``engine.run_series(rounds, ...)`` — same dataset
+    ids, same start times, bit-identical catchments, RTTs, and stats —
+    but each shard of the block universe is evaluated independently
+    (``workers >= 1`` in a process pool; ``workers == 0`` inline, for
+    tests and platforms without fork).  Merged results share the
+    engine's universe array, so consecutive-round diffs stay pure
+    array compares.
+    """
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    shards, workers = _resolve_fanout(shards, workers)
+    if observer is None:
+        observer = engine.observer
+    state = engine.state
+    plan = ShardPlan.split(state.rows, shards)
+    payloads = [
+        (state.shard(start, stop), rounds, interval_seconds, dataset_prefix)
+        for start, stop in plan.bounds
+    ]
+    with observer.tracer.span(
+        "scan.sharded_series",
+        rounds=rounds,
+        shards=plan.shard_count,
+        workers=workers,
+    ) as span:
+        per_shard: List[List[ScanResult]] = []
+        if workers == 0:
+            for index, payload in enumerate(payloads):
+                with observer.tracer.span(
+                    "scan.shard", shard=index, rows=payload[0].rows
+                ):
+                    per_shard.append(_scan_shard_worker(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_scan_shard_worker, payload)
+                    for payload in payloads
+                ]
+                for index, future in enumerate(futures):
+                    with observer.tracer.span(
+                        "scan.shard", shard=index, rows=payloads[index][0].rows
+                    ):
+                        per_shard.append(future.result())
+        merged = [
+            _merge_round(
+                state,
+                [shard_rounds[round_id] for shard_rounds in per_shard],
+                round_id,
+                interval_seconds,
+                dataset_prefix,
+            )
+            for round_id in range(rounds)
+        ]
+        span.set(blocks=state.rows)
+    metrics = observer.metrics
+    metrics.gauge("scan.shards").set(plan.shard_count)
+    metrics.gauge("scan.shard_imbalance").set(plan.imbalance())
+    return merged
+
+
+# -- sharded load weighting ------------------------------------------------
+
+
+def sharded_weight_catchment(
+    catchment: ArrayCatchmentMap,
+    estimate: LoadEstimate,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    hourly: bool = True,
+    observer: Optional[Observer] = None,
+) -> SiteLoad:
+    """Load weighting with the join and hour columns fanned over workers.
+
+    Bit-identical to :func:`repro.load.weighting.weight_catchment` on
+    the same array-backed catchment: the traffic-row join returns exact
+    int16 site indices (trivially shardable), the daily ``bincount``
+    runs as one pass in the parent, and workers compute *whole* hour
+    columns — complete single-pass accumulations — never partial float
+    sums, which would break bit-identity through non-associativity.
+    """
+    if observer is None:
+        observer = NULL_OBSERVER
+    if not isinstance(catchment, ArrayCatchmentMap):
+        raise ConfigurationError(
+            "sharded weighting requires an array-backed catchment"
+        )
+    if len(estimate) == 0:
+        raise DatasetError("load estimate is empty")
+    shards, workers = _resolve_fanout(shards, workers)
+    site_codes = catchment.site_codes
+    unknown_bucket = len(site_codes)
+    traffic_blocks = estimate.blocks
+    plan = ShardPlan.split(traffic_blocks.size, shards)
+    join_payloads = [
+        (site_codes, catchment.universe, catchment.site_index_array,
+         traffic_blocks[start:stop])
+        for start, stop in plan.bounds
+    ]
+    with observer.tracer.span(
+        "load.weight.sharded", shards=plan.shard_count, workers=workers
+    ) as span:
+        with ExitStack() as stack:
+            if workers == 0:
+                mapper = map
+            else:
+                pool = stack.enter_context(
+                    ProcessPoolExecutor(max_workers=workers)
+                )
+                mapper = pool.map
+            index_parts = list(mapper(_join_shard_worker, join_payloads))
+            buckets = _buckets_of(index_parts, unknown_bucket)
+            daily_values = estimate.source.daily_of_kind(estimate.kind)
+            daily_sums = np.bincount(
+                buckets, weights=daily_values, minlength=unknown_bucket + 1
+            )
+            hourly_sums = np.zeros((unknown_bucket + 1, HOURS))
+            if hourly:
+                matrix = estimate.hourly_matrix()
+                hour_plan = ShardPlan.split(HOURS, min(max(workers, 1), HOURS))
+                hour_payloads = [
+                    (buckets, matrix[:, start:stop], unknown_bucket + 1)
+                    for start, stop in hour_plan.bounds
+                ]
+                parts = list(mapper(_hour_columns_worker, hour_payloads))
+                for (start, stop), part in zip(hour_plan.bounds, parts):
+                    hourly_sums[:, start:stop] = part
+        daily = {code: float(daily_sums[i]) for i, code in enumerate(site_codes)}
+        daily[UNKNOWN] = float(daily_sums[unknown_bucket])
+        hourly_acc: Dict[str, np.ndarray] = {
+            code: hourly_sums[i] for i, code in enumerate(site_codes)
+        }
+        hourly_acc[UNKNOWN] = hourly_sums[unknown_bucket]
+        span.set(join_rows=len(estimate))
+    observer.metrics.gauge("load.join_rows").set(len(estimate))
+    return SiteLoad(site_codes, daily, hourly_acc)
+
+
+def _buckets_of(index_parts: Sequence[np.ndarray], unknown_bucket: int) -> np.ndarray:
+    """Concatenate per-shard site indices into daily/hourly bucket ids."""
+    joined = (
+        index_parts[0]
+        if len(index_parts) == 1
+        else np.concatenate(index_parts)
+    )
+    indices = joined.astype(np.int64)
+    return np.where(indices >= 0, indices, unknown_bucket)

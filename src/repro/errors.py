@@ -58,3 +58,12 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError, ValueError):
     """A scenario or component was configured with invalid parameters."""
+
+
+class EquivalenceError(ReproError, AssertionError):
+    """Two results that must match bit for bit do not.
+
+    Raised by the sharding equivalence helpers; subclasses
+    ``AssertionError`` so test harnesses report it as a failed
+    assertion rather than an error.
+    """

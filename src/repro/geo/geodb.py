@@ -8,6 +8,7 @@ unlocatable (the paper discards 678 of 3.8M blocks for this reason).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
@@ -48,6 +49,7 @@ class GeoDatabase:
     def __init__(self) -> None:
         self._records: Dict[int, GeoRecord] = {}
         self._columns: Optional[GeoColumns] = None
+        self._columns_pid: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -59,11 +61,13 @@ class GeoDatabase:
         """Register the location of ``block`` (replacing any previous one)."""
         self._records[block] = record
         self._columns = None
+        self._columns_pid = None
 
     def add_many(self, entries: Iterable[Tuple[int, GeoRecord]]) -> None:
         """Bulk insert ``(block, record)`` pairs."""
         self._records.update(entries)
         self._columns = None
+        self._columns_pid = None
 
     def locate(self, block: int) -> Optional[GeoRecord]:
         """Return the record for ``block`` or None when unlocatable."""
@@ -92,7 +96,7 @@ class GeoDatabase:
         against the sorted block array with ``searchsorted`` instead of
         issuing a dict probe per block.
         """
-        if self._columns is None:
+        if self._columns is None or self._columns_pid != os.getpid():
             blocks = sorted(self._records)
             count = len(blocks)
             countries = tuple(
@@ -114,7 +118,22 @@ class GeoDatabase:
                 country_index=country_index,
                 countries=countries,
             )
+            self._columns_pid = os.getpid()
         return self._columns
+
+    def attach_columns(self, columns: GeoColumns) -> None:
+        """Adopt a prebuilt (possibly memory-mapped) columnar snapshot.
+
+        Persisted scenarios re-attach their snapshot instead of paying
+        the per-record Python rebuild.  The row count must match the
+        database; contents are trusted (fingerprint-keyed).
+        """
+        if columns.blocks.shape != (len(self._records),):
+            raise DatasetError(
+                "attached geo columns do not match the database size"
+            )
+        self._columns = columns
+        self._columns_pid = os.getpid()
 
     def join(self, blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Locate many blocks at once.

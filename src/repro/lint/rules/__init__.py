@@ -12,4 +12,5 @@ from repro.lint.rules import docstrings  # noqa: F401
 from repro.lint.rules import exceptions  # noqa: F401
 from repro.lint.rules import hotpath  # noqa: F401
 from repro.lint.rules import layering  # noqa: F401
+from repro.lint.rules import pools  # noqa: F401
 from repro.lint.rules import seeds  # noqa: F401

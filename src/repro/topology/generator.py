@@ -34,7 +34,6 @@ from repro.topology.internet import Internet
 from repro.topology.prefixes import AnnouncedPrefix
 from repro.topology.relationships import RelationshipGraph
 
-_TOPOLOGY_POOL = Prefix("8.0.0.0/5")
 
 
 @dataclass(frozen=True)
@@ -82,6 +81,7 @@ class TopologyConfig:
     transit_peering_probability: float = 0.10
     max_blocks_per_prefix: int = 64
     block_density_scale: float = 1.0
+    address_pool: str = "8.0.0.0/5"
     unlocatable_fraction: float = 0.0002
     seeded_ases: Tuple[SeededAS, ...] = ()
     host_config: Optional[HostModelConfig] = None
@@ -107,6 +107,7 @@ class TopologyConfig:
             raise ConfigurationError("max_blocks_per_prefix must be >= 1")
         if self.block_density_scale <= 0:
             raise ConfigurationError("block_density_scale must be positive")
+        Prefix(self.address_pool)  # validates eagerly (raises AddressError)
 
 
 # Prefix length mixes per tier: (length, relative weight).  Skewed so
@@ -143,7 +144,7 @@ class _Builder:
         self.announced: List[AnnouncedPrefix] = []
         self.block_assignment: Dict[int, Tuple[int, int]] = {}
         self.geodb = GeoDatabase()
-        self.allocator = PrefixAllocator(_TOPOLOGY_POOL)
+        self.allocator = PrefixAllocator(Prefix(self.config.address_pool))
         self.next_asn = 1
         self.tier1_asns: List[int] = []
         self.transit_asns: List[int] = []

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +52,7 @@ class Internet:
             asn = block_assignment[block][0]
             self._blocks_by_asn.setdefault(asn, []).append(block)
         self._block_table: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._block_table_pid: Optional[int] = None
 
     # -- blocks ---------------------------------------------------------
 
@@ -94,7 +96,7 @@ class Internet:
         join against it with ``searchsorted`` instead of per-block dict
         probes.
         """
-        if self._block_table is None:
+        if self._block_table is None or self._block_table_pid != os.getpid():
             count = len(self._blocks)
             blocks = np.asarray(self._blocks, dtype=np.int64)
             asns = np.fromiter(
@@ -108,7 +110,25 @@ class Internet:
                 count=count,
             )
             self._block_table = (blocks, asns, pop_ids)
+            self._block_table_pid = os.getpid()
         return self._block_table
+
+    def attach_block_table(
+        self, blocks: np.ndarray, asns: np.ndarray, pop_ids: np.ndarray
+    ) -> None:
+        """Adopt a prebuilt (possibly memory-mapped) block table.
+
+        Lets a persisted scenario skip the Python rebuild pass: the
+        arrays come straight from :mod:`repro.core.tables` memmaps.
+        Shapes must match the populated block count; contents are
+        trusted (they are keyed by the scenario fingerprint).
+        """
+        if not (blocks.shape == asns.shape == pop_ids.shape == (len(self._blocks),)):
+            raise TopologyError(
+                "attached block table shapes do not match the populated blocks"
+            )
+        self._block_table = (blocks, asns, pop_ids)
+        self._block_table_pid = os.getpid()
 
     def asns_of_blocks(self, blocks: np.ndarray) -> np.ndarray:
         """Origin AS of each of ``blocks`` (vectorised ``asn_of_block``).

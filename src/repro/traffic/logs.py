@@ -41,7 +41,12 @@ class DayLoad:
     ) -> None:
         self.service_name = service_name
         self.date_label = date_label
-        self.blocks = np.asarray(list(blocks), dtype=np.int64)
+        if isinstance(blocks, np.ndarray):
+            # Keep array inputs as-is (including read-only memmaps from
+            # a persisted table store) — no per-element Python pass.
+            self.blocks = blocks.astype(np.int64, copy=False)
+        else:
+            self.blocks = np.asarray(list(blocks), dtype=np.int64)
         if self.blocks.size and np.any(np.diff(self.blocks) <= 0):
             raise DatasetError("blocks must be strictly ascending")
         self.queries = np.asarray(queries, dtype=np.float64)
@@ -54,9 +59,20 @@ class DayLoad:
             )
         if self.good_fraction.shape != (n,) or self.reply_fraction.shape != (n,):
             raise DatasetError("fraction arrays must be one value per block")
-        self._index: Dict[int, int] = {
-            int(block): row for row, block in enumerate(self.blocks)
-        }
+        self._index_cache: Optional[Dict[int, int]] = None
+
+    @property
+    def _index(self) -> Dict[int, int]:
+        """Block -> row lookup, built lazily.
+
+        Columnar consumers never touch it, so a memmap-backed day
+        cold-starts without a million-entry dict build.
+        """
+        if self._index_cache is None:
+            self._index_cache = {
+                int(block): row for row, block in enumerate(self.blocks)
+            }
+        return self._index_cache
 
     def __len__(self) -> int:
         return self.blocks.size

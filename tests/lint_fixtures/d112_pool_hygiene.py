@@ -1,0 +1,15 @@
+"""Fixture: D112 — pool machinery outside repro.core.sharding."""
+
+from concurrent.futures import ProcessPoolExecutor  # MARK
+
+import multiprocessing  # MARK
+
+
+def fan_out(items):
+    """Fan work out with an unpicklable (nested) pool target."""
+
+    def _work(item):
+        return item + 1
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(_work, items))  # MARK

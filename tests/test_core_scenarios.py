@@ -61,7 +61,7 @@ class TestTangled:
         assert service.site("SAO").upstream_asn == service.site("MIA").upstream_asn
 
     def test_all_scales_defined(self):
-        assert set(SCALES) == {"tiny", "small", "medium", "large"}
+        assert set(SCALES) == {"tiny", "small", "medium", "large", "xlarge"}
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import io
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -233,3 +234,28 @@ class TestPermutationProperties:
         sample = [order.index(i) for i in range(0, n, max(1, n // 64))]
         assert len(sample) == len(set(sample))
         assert all(0 <= value < n for value in sample)
+
+
+class TestShardPlanProperties:
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_merge_of_split_is_identity(self, size, shards, seed):
+        """Slicing any array by a shard plan and concatenating the
+        slices back must reproduce the original buffer bit for bit."""
+        from repro.core.sharding import ShardPlan, assert_buffers_equal
+
+        plan = ShardPlan.split(size, shards)
+        values = (
+            np.arange(size, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+            + np.uint64(seed)
+        )
+        parts = [values[start:stop] for start, stop in plan.bounds]
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        assert_buffers_equal(merged, values)
+        assert plan.shard_count == min(shards, size)
+        assert sum(plan.sizes()) == size
+        assert plan.imbalance() >= 1.0

@@ -29,6 +29,7 @@ FIXTURE_EXPECTATIONS = [
     ("d109_instance_default.py", "D109", "# MARK", 2),  # call + literal
     ("d110_hot_loop_accumulation.py", "D110", "# MARK", 2),  # dict + set; disabled line exempt
     ("d111_missing_docstring.py", "D111", "# MARK", 3),  # function + class + method
+    ("d112_pool_hygiene.py", "D112", "# MARK", 3),  # two imports + nested-def target
     ("s201_duplicate_label.py", "S201", "# MARK", 2),  # both sites flagged
     ("s202_colliding_label.py", "S202", "# MARK", 1),
     ("e301_foreign_raise.py", "E301", "# MARK", 1),

@@ -1,0 +1,282 @@
+"""Sharded scan / weighting: merge equivalence, pickling, memmap tables."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.anycast.catchment import ArrayCatchmentMap
+from repro.core.fastscan import FastScanEngine, _VectorPermutation
+from repro.core.scenarios import tangled_like
+from repro.core.sharding import (
+    ShardPlan,
+    assert_buffers_equal,
+    assert_scan_results_identical,
+    assert_site_loads_identical,
+    run_sharded_series,
+    sharded_weight_catchment,
+)
+from repro.core.tables import (
+    TableStore,
+    attach_scenario_tables,
+    attached_day_load,
+    persist_scenario_tables,
+)
+from repro.core.verfploeter import Verfploeter
+from repro.errors import ConfigurationError, DatasetError, EquivalenceError
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import weight_catchment
+
+
+def _engine_for(seed: int) -> FastScanEngine:
+    scenario = tangled_like(scale="tiny", seed=seed)
+    verfploeter = Verfploeter(scenario.internet, scenario.service)
+    return FastScanEngine(verfploeter)
+
+
+class TestShardPlan:
+    def test_split_tiles_universe(self):
+        plan = ShardPlan.split(10, 3)
+        assert plan.bounds == ((0, 4), (4, 7), (7, 10))
+        assert plan.sizes() == [4, 3, 3]
+        assert plan.shard_count == 3
+
+    def test_split_clamps_to_universe(self):
+        plan = ShardPlan.split(2, 7)
+        assert plan.shard_count == 2
+        assert plan.sizes() == [1, 1]
+
+    def test_split_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.split(0, 1)
+        with pytest.raises(ConfigurationError):
+            ShardPlan.split(10, 0)
+
+    def test_bounds_must_tile(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(universe_size=10, bounds=((0, 4), (5, 10)))
+        with pytest.raises(ConfigurationError):
+            ShardPlan(universe_size=10, bounds=((0, 4), (4, 9)))
+
+    def test_imbalance(self):
+        assert ShardPlan.split(12, 4).imbalance() == 1.0
+        assert ShardPlan.split(10, 3).imbalance() == pytest.approx(1.2)
+
+
+class TestAssertHelpers:
+    def test_buffers_equal_passes_and_fails(self):
+        a = np.arange(5, dtype=np.int64)
+        assert_buffers_equal(a, a.copy())
+        with pytest.raises(EquivalenceError, match="dtype"):
+            assert_buffers_equal(a, a.astype(np.int32))
+        with pytest.raises(EquivalenceError, match="shape"):
+            assert_buffers_equal(a, a[:3])
+        b = a.copy()
+        b[2] = 99
+        with pytest.raises(EquivalenceError, match="element index 2"):
+            assert_buffers_equal(a, b)
+
+    def test_nan_payloads_compare_bitwise(self):
+        # allclose-style comparison would treat NaN != NaN; byte
+        # comparison treats identical NaNs as equal, which is the
+        # bit-identity contract.
+        a = np.array([1.0, np.nan])
+        assert_buffers_equal(a, a.copy())
+
+
+class TestShardedSeriesEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17, 123])
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_bit_identical_to_single_process(self, seed, shards):
+        engine = _engine_for(seed)
+        baseline = engine.run_series(rounds=3, interval_seconds=900.0)
+        sharded = run_sharded_series(
+            engine, rounds=3, shards=shards, workers=0
+        )
+        assert len(sharded) == len(baseline)
+        for merged, expected in zip(sharded, baseline):
+            assert_scan_results_identical(merged, expected)
+
+    def test_boundary_splits_a_site_catchment(self):
+        # The interesting shard boundary is one that cuts through a
+        # site's catchment: blocks of the same site land in different
+        # shards and must reassemble exactly.
+        engine = _engine_for(3)
+        baseline = engine.run_series(rounds=1, interval_seconds=900.0)[0]
+        sites = baseline.catchment.site_index_array
+        boundary = None
+        for cut in range(1, sites.size):
+            if sites[cut - 1] == sites[cut]:
+                boundary = cut
+                break
+        assert boundary is not None, "no site spans any candidate boundary"
+        plan = ShardPlan(
+            universe_size=sites.size,
+            bounds=((0, boundary), (boundary, sites.size)),
+        )
+        state = engine.state
+        from repro.core.sharding import _merge_round, _scan_shard_worker
+
+        shard_rounds = [
+            _scan_shard_worker((state.shard(start, stop), 1, 900.0, "fast-series"))[0]
+            for start, stop in plan.bounds
+        ]
+        merged = _merge_round(state, shard_rounds, 0, 900.0, "fast-series")
+        assert_scan_results_identical(merged, baseline)
+
+    def test_process_pool_matches_inline(self):
+        engine = _engine_for(17)
+        inline = run_sharded_series(engine, rounds=2, shards=2, workers=0)
+        pooled = run_sharded_series(engine, rounds=2, shards=2, workers=2)
+        for a, b in zip(pooled, inline):
+            assert_scan_results_identical(a, b)
+
+    def test_rejects_bad_rounds(self):
+        engine = _engine_for(3)
+        with pytest.raises(ConfigurationError):
+            run_sharded_series(engine, rounds=0, shards=2, workers=0)
+
+
+class TestShardedWeighting:
+    @pytest.mark.parametrize("shards,workers", [(1, 0), (4, 0), (3, 2)])
+    def test_bit_identical_to_weight_catchment(self, shards, workers):
+        scenario = tangled_like(scale="tiny", seed=3)
+        verfploeter = Verfploeter(scenario.internet, scenario.service)
+        engine = FastScanEngine(verfploeter)
+        scan = engine.run_scan(round_id=0)
+        estimate = LoadEstimate(scenario.day_load("shard-day"))
+        expected = weight_catchment(scan.catchment, estimate)
+        actual = sharded_weight_catchment(
+            scan.catchment, estimate, shards=shards, workers=workers
+        )
+        assert_site_loads_identical(actual, expected)
+
+    def test_requires_array_catchment(self):
+        scenario = tangled_like(scale="tiny", seed=3)
+        estimate = LoadEstimate(scenario.day_load("shard-day"))
+        with pytest.raises(ConfigurationError):
+            sharded_weight_catchment({"LAX": [1]}, estimate, workers=0)
+
+
+class TestPickling:
+    def test_catchment_drops_lazy_caches(self):
+        engine = _engine_for(3)
+        scan = engine.run_scan(round_id=0)
+        catchment = scan.catchment
+        catchment.counts()  # populate the lazy dict caches
+        clone = pickle.loads(pickle.dumps(catchment))
+        assert clone._mapping_cache is None
+        assert clone._mapped_count is None
+        assert_buffers_equal(clone.universe, catchment.universe)
+        assert_buffers_equal(clone.site_index_array, catchment.site_index_array)
+        assert clone.counts() == catchment.counts()
+
+    def test_shared_universe_pickles_once(self):
+        # Rounds of one shard all reference the same universe array, so
+        # a 4-round payload must be far smaller than 4x one round.
+        engine = _engine_for(3)
+        from repro.core.sharding import _scan_shard_worker
+
+        state = engine.state
+        one = len(pickle.dumps(_scan_shard_worker((state, 1, 900.0, "p"))))
+        four = len(pickle.dumps(_scan_shard_worker((state, 4, 900.0, "p"))))
+        assert four < 3.5 * one
+
+    def test_scan_result_roundtrips_bitwise(self):
+        engine = _engine_for(3)
+        scan = engine.run_scan(round_id=1)
+        clone = pickle.loads(pickle.dumps(scan))
+        assert_scan_results_identical(clone, scan)
+
+
+class TestVectorPermutationInverse:
+    @pytest.mark.parametrize("n,seed", [(5, 1), (16, 9), (1000, 42), (12345, 7)])
+    def test_positions_of_inverts_permutation(self, n, seed):
+        perm = _VectorPermutation(n, seed)
+        forward = perm.permutation()
+        positions = perm.positions_of(np.arange(n, dtype=np.int64))
+        # forward[i] is the block probed at slot i, so the position of
+        # block b is the slot where forward == b.
+        expected = np.empty(n, dtype=np.int64)
+        expected[forward] = np.arange(n, dtype=np.int64)
+        assert_buffers_equal(positions, expected)
+
+    def test_positions_of_rejects_out_of_range(self):
+        perm = _VectorPermutation(10, 1)
+        with pytest.raises(ConfigurationError):
+            perm.positions_of(np.array([10]))
+
+
+class TestTableStore:
+    def test_persist_then_attach_is_bit_identical(self, tmp_path):
+        store = TableStore(root=str(tmp_path))
+        built = tangled_like(scale="tiny", seed=3)
+        day = built.day_load("table-day")
+        fingerprint = persist_scenario_tables(store, built, day_loads=[day])
+        assert store.has(fingerprint)
+
+        fresh = tangled_like(scale="tiny", seed=3)
+        manifest = attach_scenario_tables(store, fresh)
+        assert manifest["blocks"] == len(fresh.internet)
+        for attached, rebuilt in zip(
+            fresh.internet.block_table(), built.internet.block_table()
+        ):
+            assert_buffers_equal(attached, rebuilt)
+        attached_cols = fresh.internet.geodb.columnar()
+        rebuilt_cols = built.internet.geodb.columnar()
+        assert attached_cols.countries == rebuilt_cols.countries
+        assert_buffers_equal(attached_cols.blocks, rebuilt_cols.blocks)
+
+        restored = attached_day_load(store, fresh, day.service_name, day.date_label)
+        assert_buffers_equal(restored.blocks, day.blocks)
+        assert_buffers_equal(restored.queries, day.queries)
+        assert restored.row_of(int(day.blocks[0])) == 0
+
+    def test_attached_scenario_scans_identically(self, tmp_path):
+        store = TableStore(root=str(tmp_path))
+        built = tangled_like(scale="tiny", seed=3)
+        persist_scenario_tables(store, built)
+        fresh = tangled_like(scale="tiny", seed=3)
+        attach_scenario_tables(store, fresh)
+        baseline = FastScanEngine(
+            Verfploeter(built.internet, built.service)
+        ).run_scan(round_id=0)
+        attached = FastScanEngine(
+            Verfploeter(fresh.internet, fresh.service)
+        ).run_scan(round_id=0)
+        assert_scan_results_identical(attached, baseline)
+
+    def test_missing_tables_raise(self, tmp_path):
+        store = TableStore(root=str(tmp_path))
+        scenario = tangled_like(scale="tiny", seed=3)
+        with pytest.raises(DatasetError):
+            attach_scenario_tables(store, scenario)
+        persist_scenario_tables(store, scenario)
+        with pytest.raises(DatasetError):
+            attached_day_load(store, scenario, "nope", "never")
+
+
+class TestAttachValidation:
+    def test_block_table_shape_checked(self):
+        from repro.errors import TopologyError
+
+        scenario = tangled_like(scale="tiny", seed=3)
+        short = np.zeros(3, dtype=np.int64)
+        with pytest.raises(TopologyError):
+            scenario.internet.attach_block_table(short, short, short)
+
+    def test_geo_columns_shape_checked(self):
+        from repro.geo.geodb import GeoColumns
+
+        scenario = tangled_like(scale="tiny", seed=3)
+        bad = GeoColumns(
+            blocks=np.zeros(1, dtype=np.int64),
+            latitudes=np.zeros(1),
+            longitudes=np.zeros(1),
+            country_index=np.zeros(1, dtype=np.int64),
+            countries=("US",),
+        )
+        with pytest.raises(DatasetError):
+            scenario.internet.geodb.attach_columns(bad)
