@@ -1,6 +1,6 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report all
+.PHONY: install test lint lint-cold lint-sarif bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,7 +9,16 @@ test:
 	PYTHONPATH=src python -m pytest tests/
 
 lint:
-	PYTHONPATH=src python -m repro.lint src tests benchmarks examples
+	PYTHONPATH=src python -m repro.lint src tests benchmarks examples tools
+
+# Cold lint: drop the incremental cache first, then relint everything.
+lint-cold:
+	rm -rf .reprolint_cache
+	PYTHONPATH=src python -m repro.lint src tests benchmarks examples tools
+
+# Machine-readable lint report for CI upload.
+lint-sarif:
+	PYTHONPATH=src python -m repro.lint src tests benchmarks examples tools --format=sarif --output=reprolint.sarif
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only

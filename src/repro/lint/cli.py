@@ -3,6 +3,13 @@
 ``python -m repro.lint [paths...]`` or the ``reprolint`` console
 script.  Exit status is 0 when no findings survive suppression, 1
 otherwise, and 2 for usage errors — so ``make lint`` can gate CI.
+
+Engine features surface here: ``--jobs N`` fans file rules over a
+process pool, the incremental cache is on by default (``--no-cache``
+to disable, ``--cache-dir`` to relocate), and ``--format sarif``
+emits SARIF 2.1.0 for CI annotation (``--output`` writes it to a
+file).  None of the options change the findings — output is
+byte-identical across serial, parallel, cold, and warm runs.
 """
 
 from __future__ import annotations
@@ -13,10 +20,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.lint.cache import DEFAULT_CACHE_DIR
 from repro.lint.engine import lint_paths
-from repro.lint.violations import ALL_KINDS, all_rules
+from repro.lint.violations import ALL_KINDS, all_rules, rule_version
 
-_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,9 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--kind",
@@ -60,6 +74,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this rule ID (repeatable)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "lint file-scoped rules across N worker processes "
+            "(default: serial; output is byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="incremental result cache location (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache for this run",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss counters to stderr after the run",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -71,7 +111,10 @@ def _list_rules() -> str:
     lines = []
     for rule in all_rules():
         kinds = ",".join(rule.kinds)
-        lines.append(f"{rule.rule_id}  {rule.name}  [{rule.scope}; {kinds}]")
+        lines.append(
+            f"{rule.rule_id}  {rule.name}  "
+            f"[{rule.scope}; v{rule_version(rule)}; {kinds}]"
+        )
         lines.append(f"      {rule.description}")
     return "\n".join(lines)
 
@@ -82,20 +125,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if options.list_rules:
         print(_list_rules())
         return 0
+    if options.jobs < 0:
+        parser.error("--jobs must be >= 0")
     if options.paths:
         paths: List[str] = list(options.paths)
     else:
         paths = [path for path in _DEFAULT_PATHS if os.path.isdir(path)]
         if not paths:
             parser.error("no default tree found; name files or directories")
+    cache_dir = None if options.no_cache else options.cache_dir
     try:
-        result = lint_paths(paths, force_kind=options.kind, rule_ids=options.rules)
+        result = lint_paths(
+            paths,
+            force_kind=options.kind,
+            rule_ids=options.rules,
+            jobs=options.jobs,
+            cache_dir=cache_dir,
+        )
     except ConfigurationError as error:
         parser.error(str(error))
     if options.format == "json":
-        print(result.to_json())
+        report = result.to_json()
+    elif options.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        report = to_sarif(result)
     else:
-        print(result.to_text())
+        report = result.to_text()
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    if options.stats:
+        print(
+            f"reprolint cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses, project "
+            f"{'hit' if result.project_cache_hit else 'miss'}",
+            file=sys.stderr,
+        )
     return 0 if result.ok else 1
 
 

@@ -5,6 +5,17 @@ The engine is rule-agnostic: it knows how to turn paths into parsed
 disable=<rule>`` suppressions work, and how to render findings as text
 or machine-readable JSON.  Everything domain-specific lives in
 :mod:`repro.lint.rules`.
+
+Three engine features, all output-invariant (the findings of a run are
+byte-identical however they were produced):
+
+* **incremental caching** (``cache_dir=``) — per-file results keyed by
+  content digest and rule versions, the whole-program pass keyed over
+  the full file manifest; see :mod:`repro.lint.cache`;
+* **multiprocess linting** (``jobs=``) — file-scoped rules fan out over
+  a spawn-safe process pool; see :mod:`repro.lint.parallel`;
+* **observability** (``observer=``) — spans and counters around the
+  parse, per-file, and whole-program passes via :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.cache import LintCache, digest_text, rules_fingerprint
 from repro.lint.violations import (
     ALL_KINDS,
     BENCHMARKS,
@@ -24,6 +36,7 @@ from repro.lint.violations import (
     TESTS,
     Violation,
     all_rules,
+    rule_wants_context,
 )
 
 #: Directory names never descended into while walking.  ``lint_fixtures``
@@ -57,10 +70,19 @@ class SourceFile:
 
 @dataclass
 class LintResult:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    ``cache_hits``/``cache_misses`` count per-file cache lookups and
+    ``project_cache_hit`` records whether the whole-program pass was
+    replayed; none of the three appear in :meth:`to_json` or
+    :meth:`to_text` — cached and uncached runs must render identically.
+    """
 
     violations: List[Violation]
     files_scanned: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    project_cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -192,54 +214,62 @@ def parse_file(path: str, force_kind: Optional[str] = None) -> Tuple[Optional[So
     return source, None
 
 
-def lint_paths(
-    paths: Sequence[str],
-    force_kind: Optional[str] = None,
-    rule_ids: Optional[Sequence[str]] = None,
-) -> LintResult:
-    """Lint ``paths`` and return every unsuppressed finding, sorted.
+def run_file_rules(
+    source: SourceFile, rules: Sequence[object]
+) -> List[Violation]:
+    """File-scoped findings for one file, suppressions applied.
 
-    ``force_kind`` overrides tree classification (the fixture tests use
-    it to hold test-tree fixtures to library rules); ``rule_ids``
-    restricts the run to a subset of rules.
+    Shared by the serial path, the cache-fill path, and the
+    ``--jobs`` worker, so every execution mode produces identical
+    per-file results.
     """
-    if force_kind is not None and force_kind not in ALL_KINDS:
+    findings: List[Violation] = []
+    for rule in rules:
+        if rule.scope != "file" or source.kind not in rule.kinds:
+            continue
+        for violation in rule.check([source]):
+            if source.suppressed(violation.line, rule.rule_id, rule.name):
+                continue
+            findings.append(violation)
+    return findings
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[object]:
+    selected = all_rules()
+    if rule_ids is None:
+        return selected
+    known = {rule.rule_id for rule in selected}
+    unknown = sorted(set(rule_ids) - known)
+    if unknown:
         from repro.errors import ConfigurationError
 
-        raise ConfigurationError(f"unknown tree kind {force_kind!r}")
-    files: List[SourceFile] = []
+        raise ConfigurationError(f"unknown rule id(s): {', '.join(unknown)}")
+    wanted = set(rule_ids)
+    return [rule for rule in selected if rule.rule_id in wanted]
+
+
+def _run_project_rules(
+    files: Sequence[SourceFile], rules: Sequence[object]
+) -> List[Violation]:
+    """Project-scoped findings over the full file set, suppressed.
+
+    Rules declaring ``wants_context`` share one lazily-built
+    whole-program context (symbol index plus call graph) instead of
+    each constructing their own.
+    """
+    from repro.lint.rules.interproc import WholeProgramContext
+
+    context = WholeProgramContext(files)
+    by_path = {source.path: source for source in files}
     findings: List[Violation] = []
-    for path in collect_files(paths):
-        source, parse_violation = parse_file(path, force_kind=force_kind)
-        if parse_violation is not None:
-            findings.append(parse_violation)
-        if source is not None:
-            files.append(source)
-
-    selected = all_rules()
-    if rule_ids is not None:
-        known = {rule.rule_id for rule in selected}
-        unknown = sorted(set(rule_ids) - known)
-        if unknown:
-            from repro.errors import ConfigurationError
-
-            raise ConfigurationError(
-                f"unknown rule id(s): {', '.join(unknown)}"
-            )
-        wanted = set(rule_ids)
-        selected = [rule for rule in selected if rule.rule_id in wanted]
-
-    for rule in selected:
+    for rule in rules:
         applicable = [source for source in files if source.kind in rule.kinds]
         if not applicable:
             continue
-        if rule.scope == "project":
-            produced = list(rule.check(applicable))
+        if rule_wants_context(rule):
+            produced = list(rule.check(applicable, context))
         else:
-            produced = []
-            for source in applicable:
-                produced.extend(rule.check([source]))
-        by_path = {source.path: source for source in files}
+            produced = list(rule.check(applicable))
         for violation in produced:
             source = by_path.get(violation.path)
             if source is not None and source.suppressed(
@@ -247,6 +277,128 @@ def lint_paths(
             ):
                 continue
             findings.append(violation)
+    return findings
 
-    findings.sort(key=lambda violation: violation.sort_key())
-    return LintResult(violations=findings, files_scanned=len(files))
+
+def lint_paths(
+    paths: Sequence[str],
+    force_kind: Optional[str] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 0,
+    cache_dir: Optional[str] = None,
+    observer=None,
+) -> LintResult:
+    """Lint ``paths`` and return every unsuppressed finding, sorted.
+
+    ``force_kind`` overrides tree classification (the fixture tests use
+    it to hold test-tree fixtures to library rules); ``rule_ids``
+    restricts the run to a subset of rules; ``jobs`` > 1 fans
+    file-scoped rules over a process pool; ``cache_dir`` enables the
+    incremental result cache.  Output is byte-identical across every
+    combination of those options.
+    """
+    if observer is None:
+        from repro.obs import NULL_OBSERVER
+
+        observer = NULL_OBSERVER
+    if force_kind is not None and force_kind not in ALL_KINDS:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"unknown tree kind {force_kind!r}")
+    selected = _select_rules(rule_ids)
+    file_rules = [rule for rule in selected if rule.scope == "file"]
+    project_rules = [rule for rule in selected if rule.scope == "project"]
+    cache = LintCache(cache_dir) if cache_dir else None
+
+    collected = collect_files(paths)
+    with observer.tracer.span(
+        "lint.run", files=len(collected), jobs=jobs, cached=cache is not None
+    ):
+        files: List[SourceFile] = []
+        findings: List[Violation] = []
+        digests: Dict[str, str] = {}
+        with observer.tracer.span("lint.parse", files=len(collected)):
+            for path in collected:
+                source, parse_violation = parse_file(path, force_kind=force_kind)
+                if parse_violation is not None:
+                    findings.append(parse_violation)
+                if source is not None:
+                    files.append(source)
+                    digests[source.path] = digest_text(source.text)
+
+        # Per-file pass: replay cached results, lint the rest (in the
+        # parent, or across a process pool for jobs > 1).
+        file_fingerprint = rules_fingerprint(file_rules)
+        to_lint: List[SourceFile] = []
+        file_keys: Dict[str, str] = {}
+        for source in files:
+            key = LintCache.file_key(
+                source.path, digests[source.path], source.kind, file_fingerprint
+            )
+            file_keys[source.path] = key
+            cached = cache.load(key) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+            else:
+                to_lint.append(source)
+        with observer.tracer.span(
+            "lint.files",
+            linted=len(to_lint),
+            replayed=len(files) - len(to_lint),
+        ):
+            if jobs > 1 and to_lint:
+                from repro.lint.parallel import lint_files_parallel
+
+                produced = lint_files_parallel(
+                    [source.path for source in to_lint],
+                    force_kind,
+                    [rule.rule_id for rule in file_rules],
+                    jobs,
+                )
+                for path, file_findings in produced:
+                    findings.extend(file_findings)
+                    if cache is not None:
+                        cache.store(file_keys[path], file_findings)
+            else:
+                for source in to_lint:
+                    file_findings = run_file_rules(source, file_rules)
+                    findings.extend(file_findings)
+                    if cache is not None:
+                        cache.store(file_keys[source.path], file_findings)
+
+        # Whole-program pass: one cache entry over the full manifest.
+        project_cache_hit = False
+        if project_rules and files:
+            project_fingerprint = rules_fingerprint(project_rules)
+            manifest = [
+                (source.path, digests[source.path], source.kind)
+                for source in files
+            ]
+            project_key = LintCache.project_key(manifest, project_fingerprint)
+            cached = cache.load(project_key) if cache is not None else None
+            with observer.tracer.span(
+                "lint.project",
+                rules=len(project_rules),
+                replayed=cached is not None,
+            ):
+                if cached is not None:
+                    project_cache_hit = True
+                    findings.extend(cached)
+                else:
+                    produced = _run_project_rules(files, project_rules)
+                    findings.extend(produced)
+                    if cache is not None:
+                        cache.store(project_key, produced)
+
+        findings.sort(key=lambda violation: violation.sort_key())
+        if cache is not None:
+            observer.metrics.counter("lint.cache.hits").inc(cache.hits)
+            observer.metrics.counter("lint.cache.misses").inc(cache.misses)
+        return LintResult(
+            violations=findings,
+            files_scanned=len(files),
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+            project_cache_hit=project_cache_hit,
+        )

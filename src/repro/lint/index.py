@@ -1,0 +1,278 @@
+"""Whole-program symbol index for reprolint.
+
+Per-file AST passes cannot see hazards that cross a module boundary: a
+seed label derived in ``core/`` colliding with one forwarded through a
+helper in ``probing/``, or shared mutable state reached transitively by
+a process-pool worker.  :class:`ProjectIndex` is the substrate for
+those rules: it takes every parsed :class:`~repro.lint.engine.SourceFile`
+of one lint run, assigns each a dotted module name, resolves import
+bindings to fully-qualified targets, and tables every top-level
+function and method so :mod:`repro.lint.callgraph` can connect call
+sites to definitions.
+
+The index is deliberately flow-insensitive — the same approximation the
+file-scoped rules use — and resolves only what static text supports:
+absolute imports, ``module.attr`` references through imported modules,
+``self.method`` within a class, and plain names.  Anything dynamic
+resolves to ``None`` and simply contributes no edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Module-level bindings to these callables count as *mutable* globals
+#: for escape analysis (W502).
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "OrderedDict"}
+)
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+def module_name_of(path: str) -> str:
+    """Dotted module name of a source file, inferred from its path.
+
+    Files under a ``repro/`` component are named from that root
+    (``src/repro/bgp/cache.py`` -> ``repro.bgp.cache``; package
+    ``__init__.py`` collapses onto the package).  Anything else —
+    tests, tools — falls back to its path with separators dotted, so
+    every file still has a unique, stable name.
+    """
+    parts = [part for part in os.path.normpath(path).split(os.sep) if part and part != "."]
+    anchor = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and index + 1 < len(parts):
+            anchor = index
+            break
+    if anchor is not None:
+        tail = parts[anchor:]
+    else:
+        tail = parts
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__" and len(tail) > 1:
+        tail = tail[:-1]
+    return ".".join(part for part in tail if part)
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method, as the index sees it."""
+
+    qualname: str  # e.g. "repro.bgp.cache.RoutingCache.get"
+    module: str  # owning module name
+    name: str  # bare function name
+    class_name: Optional[str]  # enclosing class, if a method
+    path: str
+    lineno: int
+    col: int
+    node: ast.AST  # the FunctionDef / AsyncFunctionDef
+    kind: str  # tree kind of the owning file
+    params: Tuple[str, ...] = ()  # positional-then-kwonly parameter names
+
+    @property
+    def display(self) -> str:
+        """Short human name used in rule messages."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the index knows about one source file."""
+
+    name: str
+    path: str
+    source: object  # the engine's SourceFile (kept untyped: layer 0)
+    tree: ast.Module
+    kind: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    global_names: Set[str] = field(default_factory=set)
+    #: name -> lineno of a module-level binding to a mutable container.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Symbol table spanning every file of one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.module_of_path: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[object]) -> "ProjectIndex":
+        """Index every parsed SourceFile (first binding of a name wins)."""
+        index = cls()
+        for source in files:
+            name = module_name_of(source.path)
+            if name in index.modules:
+                # Two files mapping to one dotted name (e.g. fixture
+                # trees mirroring real packages): fall back to a
+                # path-unique name so neither shadows the other.
+                fallback = source.path.replace(os.sep, ".")
+                if fallback.endswith(".py"):
+                    fallback = fallback[: -len(".py")]
+                name = fallback
+            module = ModuleInfo(
+                name=name,
+                path=source.path,
+                source=source,
+                tree=source.tree,
+                kind=source.kind,
+            )
+            index.modules[name] = module
+            index.module_of_path[source.path] = name
+            index._collect_imports(module)
+            index._collect_functions(module)
+            index._collect_globals(module)
+        return index
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    module.imports[bound] = f"{node.module}.{alias.name}"
+
+    def _collect_functions(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(module, item, class_name=node.name)
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        class_name: Optional[str],
+    ) -> None:
+        local = f"{class_name}.{node.name}" if class_name else node.name
+        qualname = f"{module.name}.{local}"
+        params = tuple(
+            arg.arg for arg in list(node.args.args) + list(node.args.kwonlyargs)
+        )
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            class_name=class_name,
+            path=module.path,
+            lineno=node.lineno,
+            col=node.col_offset,
+            node=node,
+            kind=module.kind,
+            params=params,
+        )
+        module.functions[local] = info
+        self.functions[qualname] = info
+
+    def _collect_globals(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                targets = [node.target]
+                value = node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                module.global_names.add(target.id)
+                if value is not None and _is_mutable_value(value):
+                    module.mutable_globals.setdefault(target.id, node.lineno)
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(
+        self,
+        module: ModuleInfo,
+        expr: ast.AST,
+        class_name: Optional[str] = None,
+    ) -> Optional[str]:
+        """Fully-qualified name a reference resolves to, if any.
+
+        Returns a qualname present in :attr:`functions`, a module name
+        present in :attr:`modules`, an imported external dotted name,
+        or ``None`` for anything dynamic.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id in module.functions:
+                return module.functions[expr.id].qualname
+            if class_name is not None:
+                local = f"{class_name}.{expr.id}"
+                if local in module.functions:
+                    return module.functions[local].qualname
+            target = module.imports.get(expr.id)
+            if target is None:
+                return None
+            return self._canonical(target)
+        if isinstance(expr, ast.Attribute):
+            base: Optional[str]
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and class_name is not None
+            ):
+                local = f"{class_name}.{expr.attr}"
+                if local in module.functions:
+                    return module.functions[local].qualname
+                return None
+            base = self.resolve(module, expr.value, class_name)
+            if base is None:
+                return None
+            return self._canonical(f"{base}.{expr.attr}")
+        return None
+
+    def _canonical(self, dotted: str) -> str:
+        """Collapse a dotted target onto a known definition if one exists.
+
+        ``repro.bgp.cache`` (module import) stays a module name;
+        ``repro.bgp.cache.default_routing_cache`` maps onto the indexed
+        function.  Unknown names pass through untouched so external
+        references (``repro.rng.derive_seed`` when ``rng.py`` is not in
+        the run) are still comparable as strings.
+        """
+        if dotted in self.functions or dotted in self.modules:
+            return dotted
+        # A from-import of a module: "pkg.sub" bound via "from pkg import sub".
+        return dotted
+
+    def function_at(self, qualname: str) -> Optional[FunctionInfo]:
+        """Indexed function for ``qualname``, or None."""
+        return self.functions.get(qualname)
+
+    def module_named(self, name: str) -> Optional[ModuleInfo]:
+        """Indexed module for ``name``, or None."""
+        return self.modules.get(name)
+
+
+def _is_mutable_value(value: ast.AST) -> bool:
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_FACTORIES
+    return False

@@ -12,8 +12,9 @@ layered-architecture reading of the DAG
 with four additions reflecting the tree as it actually is:
 
 * ``anycast`` (sites, service, catchment value types) sits with ``bgp``;
-* ``lint`` (this tool) is layer 0 — it may import nothing but
-  ``errors``;
+* ``lint`` (this tool) is layer 0 — it may import only ``errors`` and
+  its layer-0 sibling ``obs`` (the engine reports spans and cache
+  counters through an observer);
 * ``obs`` (tracing spans, metrics, profiling hooks) is also layer 0:
   every pipeline layer above it reports into it, so it may import
   nothing but ``errors``;

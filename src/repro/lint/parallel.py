@@ -1,0 +1,78 @@
+"""Multiprocess file linting (``reprolint --jobs N``).
+
+This module is a sanctioned pool home (see rule D112): the only place
+in the lint package allowed to construct a :class:`ProcessPoolExecutor`.
+It practices what the pool-hygiene rules preach:
+
+* the worker is a top-level function, picklable under the ``spawn``
+  start method;
+* payloads are plain tuples of strings, results plain tuples of
+  violation rows — nothing that drags module state across the boundary;
+* workers mutate nothing shared; the parent merges and sorts, so the
+  final output is byte-identical to a serial run regardless of job
+  count or completion order.
+
+Each worker re-parses its file and runs only *file-scoped* rules;
+project-scoped rules need every file at once and always run in the
+parent.  Suppressions are applied in the worker (it holds the file
+text), so rows coming back are final findings.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.violations import Violation, all_rules
+
+#: payload: (path, force_kind-or-None, file-rule IDs to run)
+_WorkerPayload = Tuple[str, Optional[str], Tuple[str, ...]]
+#: result row mirrors cache rows: (rule, name, path, line, col, message)
+_Row = Tuple[str, str, str, int, int, str]
+
+
+def _lint_file_worker(payload: _WorkerPayload) -> Tuple[str, List[_Row]]:
+    """Parse one file and run the named file-scoped rules over it."""
+    from repro.lint.engine import parse_file, run_file_rules
+
+    path, force_kind, rule_ids = payload
+    wanted = set(rule_ids)
+    rules = [rule for rule in all_rules() if rule.rule_id in wanted]
+    source, parse_violation = parse_file(path, force_kind=force_kind)
+    if source is None:
+        # The parent already reported the parse error; nothing to add.
+        assert parse_violation is not None
+        return path, []
+    rows = [
+        (v.rule, v.name, v.path, v.line, v.col, v.message)
+        for v in run_file_rules(source, rules)
+    ]
+    return path, rows
+
+
+def lint_files_parallel(
+    paths: Sequence[str],
+    force_kind: Optional[str],
+    rule_ids: Sequence[str],
+    jobs: int,
+) -> List[Tuple[str, List[Violation]]]:
+    """File-rule findings for ``paths``, fanned over ``jobs`` processes.
+
+    Results come back keyed by path in submission order — completion
+    order never leaks into output.
+    """
+    payloads: List[_WorkerPayload] = [
+        (path, force_kind, tuple(rule_ids)) for path in paths
+    ]
+    results: List[Tuple[str, List[Violation]]] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for path, rows in pool.map(_lint_file_worker, payloads):
+            violations = [
+                Violation(
+                    rule=rule, name=name, path=vpath, line=line, col=col,
+                    message=message,
+                )
+                for rule, name, vpath, line, col, message in rows
+            ]
+            results.append((path, violations))
+    return results

@@ -1,14 +1,15 @@
 """Process-pool hygiene (rule ``D112``).
 
-Process-level fan-out lives in exactly one place —
-:mod:`repro.core.sharding` — because every pool carries the same two
-correctness obligations: results must merge bit-identically to the
-single-process path, and every target callable must be a *top-level*
-function so it pickles under the ``spawn`` start method (a lambda or a
-nested ``def`` imports fine under ``fork`` and then breaks on every
-other platform, or silently captures stale parent state).  This rule
-enforces both halves: no pool machinery outside the sharding module,
-and no unpicklable submission targets anywhere.
+Process-level fan-out lives in a short list of sanctioned homes —
+:mod:`repro.core.sharding` for simulation work and
+:mod:`repro.lint.parallel` for ``reprolint --jobs`` — because every
+pool carries the same two correctness obligations: results must merge
+bit-identically to the single-process path, and every target callable
+must be a *top-level* function so it pickles under the ``spawn`` start
+method (a lambda or a nested ``def`` imports fine under ``fork`` and
+then breaks on every other platform, or silently captures stale parent
+state).  This rule enforces both halves: no pool machinery outside the
+sanctioned homes, and no unpicklable submission targets anywhere.
 """
 
 from __future__ import annotations
@@ -20,9 +21,12 @@ from typing import Iterable, List, Optional, Set, Tuple
 from repro.lint.rules.determinism import _violation
 from repro.lint.violations import ALL_KINDS, LIBRARY, Violation, register_rule
 
-#: The one module allowed to import pool machinery (as path suffixes,
-#: matched against the reported file path with separators normalised).
-_POOL_HOME_SUFFIX = "repro/core/sharding.py"
+#: Modules allowed to import pool machinery (as path suffixes, matched
+#: against the reported file path with separators normalised).
+_POOL_HOME_SUFFIXES = (
+    "repro/core/sharding.py",
+    "repro/lint/parallel.py",
+)
 
 
 def _normalised(path: str) -> str:
@@ -30,7 +34,8 @@ def _normalised(path: str) -> str:
 
 
 def _is_pool_home(path: str) -> bool:
-    return _normalised(path).endswith(_POOL_HOME_SUFFIX)
+    normalised = _normalised(path)
+    return any(normalised.endswith(suffix) for suffix in _POOL_HOME_SUFFIXES)
 
 
 def _nested_def_names(tree: ast.Module) -> Set[str]:
@@ -100,13 +105,16 @@ class ProcessPoolHygieneRule:
     rule_id = "D112"
     name = "process-pool-hygiene"
     description = (
-        "process-level fan-out belongs in repro.core.sharding (importing "
+        "process-level fan-out belongs in the sanctioned pool homes "
+        "(repro.core.sharding, repro.lint.parallel); importing "
         "multiprocessing or ProcessPoolExecutor elsewhere in the library "
-        "is flagged), and pool submit/map targets must be top-level "
+        "is flagged, and pool submit/map targets must be top-level "
         "functions — lambdas and nested defs do not pickle under spawn"
     )
     scope = "file"
     kinds = ALL_KINDS
+    #: v2: repro.lint.parallel joined the sanctioned pool homes.
+    version = 2
 
     _POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool"})
 
@@ -139,9 +147,9 @@ class ProcessPoolHygieneRule:
                     if alias.name.split(".")[0] == "multiprocessing":
                         yield (
                             node,
-                            "import of 'multiprocessing' outside "
-                            "repro.core.sharding; route process fan-out "
-                            "through the sharding module",
+                            "import of 'multiprocessing' outside a "
+                            "sanctioned pool home; route process fan-out "
+                            "through repro.core.sharding",
                             None,
                         )
                         break
@@ -150,9 +158,9 @@ class ProcessPoolHygieneRule:
                 if module.split(".")[0] == "multiprocessing":
                     yield (
                         node,
-                        "import from 'multiprocessing' outside "
-                        "repro.core.sharding; route process fan-out "
-                        "through the sharding module",
+                        "import from 'multiprocessing' outside a "
+                        "sanctioned pool home; route process fan-out "
+                        "through repro.core.sharding",
                         None,
                     )
                 elif module.startswith("concurrent.futures"):
@@ -161,8 +169,8 @@ class ProcessPoolHygieneRule:
                             yield (
                                 node,
                                 "import of ProcessPoolExecutor outside "
-                                "repro.core.sharding; route process "
-                                "fan-out through the sharding module",
+                                "a sanctioned pool home; route process "
+                                "fan-out through repro.core.sharding",
                                 alias.asname or alias.name,
                             )
 

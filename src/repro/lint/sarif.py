@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 rendering of lint results.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI platforms ingest to annotate findings onto PR diffs.  One
+run object carries the tool's rule catalog plus one result per
+finding; paths are emitted as forward-slash relative URIs and columns
+converted from reprolint's 0-based to SARIF's 1-based convention.
+
+Output is deterministic: findings keep the engine's sort order and
+keys are emitted in a fixed order, so identical lint results render
+byte-identical SARIF.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.lint.violations import all_rules
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Rule families that gate CI hard are errors; everything else warns.
+_ERROR_LEVEL = "error"
+
+
+def to_sarif(result, tool_version: str = "1.0.0") -> str:
+    """Render a :class:`~repro.lint.engine.LintResult` as SARIF JSON."""
+    rules = all_rules()
+    rule_index = {rule.rule_id: position for position, rule in enumerate(rules)}
+    driver_rules: List[dict] = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _ERROR_LEVEL},
+        }
+        for rule in rules
+    ]
+    results: List[dict] = []
+    for violation in result.violations:
+        entry = {
+            "ruleId": violation.rule,
+            "level": _ERROR_LEVEL,
+            "message": {"text": f"({violation.name}) {violation.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        position = rule_index.get(violation.rule)
+        if position is not None:
+            entry["ruleIndex"] = position
+        results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/reprolint"
+                        ),
+                        "version": tool_version,
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///", "description": {
+                        "text": "repository root"
+                    }}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -105,7 +105,7 @@ def _weight_reference(
     for row, block in enumerate(blocks):
         site: Optional[str] = catchment.site_of(int(block))
         bucket = site if site is not None else UNKNOWN
-        daily[bucket] = daily.get(bucket, 0.0) + float(daily_values[row])  # reprolint: disable=D110 — reference path
+        daily[bucket] = daily.get(bucket, 0.0) + float(daily_values[row])  # reprolint: disable=D110,W503 — per-call local accumulator, fixed row order
         if hourly:
             hourly_acc.setdefault(bucket, np.zeros(HOURS))  # reprolint: disable=D110 — reference path
             hourly_acc[bucket] += estimate.hourly_of_block(int(block))  # reprolint: disable=D110 — reference path

@@ -1,0 +1,8 @@
+"""W501 fixture: module deriving a stream under a literal label."""
+
+from repro.rng import derive_seed
+
+
+def order_seed(seed):
+    """Derive the scan-order stream directly."""
+    return derive_seed(seed, "scan/order")

@@ -1,0 +1,17 @@
+"""W501 fixture: a forwarder expands a caller-supplied label.
+
+No single file contains two copies of the literal, so the per-file
+S201 pass sees nothing; only expansion at the call site reveals that
+this module re-derives the label alpha.py already owns.
+"""
+
+from repro.rng import derive_seed
+
+
+def _derive(seed, label):
+    return derive_seed(seed, label)
+
+
+def consumer(seed):
+    """Effective label collides with repro.alpha's direct site."""
+    return _derive(seed, "scan/order")  # MARK

@@ -1,0 +1,8 @@
+"""W501 clean fixture: direct derivation half."""
+
+from repro.rng import derive_seed
+
+
+def order_seed(seed):
+    """Derive the scan-order stream directly."""
+    return derive_seed(seed, "scan/order")

@@ -1,0 +1,12 @@
+"""W501 clean fixture: the forwarded label names a distinct stream."""
+
+from repro.rng import derive_seed
+
+
+def _derive(seed, label):
+    return derive_seed(seed, label)
+
+
+def consumer(seed):
+    """Distinct effective label; no collision."""
+    return _derive(seed, "scan/replies")

@@ -1,0 +1,12 @@
+"""W501 suppressed fixture: the collision site carries a suppression."""
+
+from repro.rng import derive_seed
+
+
+def _derive(seed, label):
+    return derive_seed(seed, label)
+
+
+def consumer(seed):
+    """Suppressed in place, with a recorded justification."""
+    return _derive(seed, "scan/order")  # reprolint: disable=W501 — shared stream is intentional here

@@ -1,0 +1,7 @@
+"""W501 fixture: unseeded randomness behind a local suppression."""
+
+import random
+
+
+def _jitter():
+    return random.random()  # reprolint: disable=D101 — fixture origin

@@ -1,0 +1,13 @@
+"""W501 fixture: a cross-module call reaching the suppressed draw.
+
+The suppression in noise.py silences D101 *on that line only*; this
+caller still inherits interpreter-wide hidden state, which is exactly
+what the taint half of W501 reports.
+"""
+
+from repro.noise import _jitter
+
+
+def schedule(base):
+    """Tainted: the callee draws from the global random stream."""
+    return base + _jitter()  # MARK

@@ -1,0 +1,7 @@
+"""W501 clean fixture: randomness flows from an explicit seed."""
+
+from repro.rng import derive_rng
+
+
+def _jitter(seed):
+    return derive_rng(seed, "noise/jitter").random()

@@ -1,0 +1,8 @@
+"""W501 clean fixture: the caller threads a derived stream through."""
+
+from repro.noise import _jitter
+
+
+def schedule(base, seed):
+    """Clean: the callee draws from an explicit derived stream."""
+    return base + _jitter(seed)

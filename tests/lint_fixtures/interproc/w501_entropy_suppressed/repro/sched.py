@@ -1,0 +1,8 @@
+"""W501 suppressed fixture: the tainted call site is suppressed too."""
+
+from repro.noise import _jitter
+
+
+def schedule(base):
+    """Suppressed in place, with a recorded justification."""
+    return base + _jitter()  # reprolint: disable=W501 — jitter is non-result-bearing here

@@ -1,0 +1,25 @@
+"""W502 fixture: a pool-reachable callee mutates a module global.
+
+D112 sees nothing wrong here — the submit target is a top-level
+function — but the worker's *callee* writes into module state, which
+each spawn worker owns a private re-imported copy of.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+
+
+def _record(key, value):
+    _RESULTS[key] = value  # MARK
+
+
+def _worker(payload):
+    _record(payload, payload * 2)
+    return payload
+
+
+def run(items):
+    """Fan the items over a process pool."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_worker, items))

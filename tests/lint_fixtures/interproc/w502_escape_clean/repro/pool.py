@@ -1,0 +1,18 @@
+"""W502 clean fixture: workers return results instead of sharing state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(payload):
+    results = {}
+    results[payload] = payload * 2
+    return results
+
+
+def run(items):
+    """Fan the items over a process pool; the parent merges returns."""
+    merged = {}
+    with ProcessPoolExecutor() as pool:
+        for part in pool.map(_worker, items):
+            merged.update(part)
+    return merged

@@ -1,0 +1,24 @@
+"""W503 fixture: a shard worker's callee grows a float accumulator.
+
+Each shard produces a partial float sum; merging partials regroups
+the additions, so results depend on the shard boundaries.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _partial_sum(values):
+    total = 0.0
+    for value in values:
+        total += value * 0.5  # MARK
+    return total
+
+
+def _worker(payload):
+    return _partial_sum(payload)
+
+
+def run(shards):
+    """Fan shards over a process pool."""
+    with ProcessPoolExecutor() as pool:
+        return sum(pool.map(_worker, shards))

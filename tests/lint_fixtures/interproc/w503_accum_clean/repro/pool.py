@@ -1,0 +1,16 @@
+"""W503 clean fixture: workers keep integer columns; floats stay parental."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _partial_count(values):
+    count = 0
+    for value in values:
+        count += int(value)
+    return count
+
+
+def run(shards):
+    """Integer partials merge associatively; the parent scales once."""
+    with ProcessPoolExecutor() as pool:
+        return sum(pool.map(_partial_count, shards)) * 0.5

@@ -1,0 +1,20 @@
+"""W503 suppressed fixture: the accumulation carries a justification."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _partial_sum(values):
+    total = 0.0
+    for value in values:
+        total += value * 0.5  # reprolint: disable=W503 — shard boundaries are fixed by config
+    return total
+
+
+def _worker(payload):
+    return _partial_sum(payload)
+
+
+def run(shards):
+    """Fan shards over a process pool."""
+    with ProcessPoolExecutor() as pool:
+        return sum(pool.map(_worker, shards))

@@ -49,6 +49,24 @@ FIXTURE_EXPECTATIONS = [
 ]
 
 
+#: Whole-program fixture trees: (case dir, rule id, file carrying the
+#: marker (positive cases) or None (suppressed/clean), expected count).
+W_FIXTURE_EXPECTATIONS = [
+    ("w501_collision", "W501", os.path.join("repro", "beta.py"), 1),
+    ("w501_collision_suppressed", "W501", None, 0),
+    ("w501_collision_clean", "W501", None, 0),
+    ("w501_entropy", "W501", os.path.join("repro", "sched.py"), 1),
+    ("w501_entropy_suppressed", "W501", None, 0),
+    ("w501_entropy_clean", "W501", None, 0),
+    ("w502_escape", "W502", os.path.join("repro", "pool.py"), 1),
+    ("w502_escape_suppressed", "W502", None, 0),
+    ("w502_escape_clean", "W502", None, 0),
+    ("w503_accum", "W503", os.path.join("repro", "pool.py"), 1),
+    ("w503_accum_suppressed", "W503", None, 0),
+    ("w503_accum_clean", "W503", None, 0),
+]
+
+
 def _marker_line(path: str, marker: str) -> int:
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
@@ -81,6 +99,40 @@ def test_fixture_triggers_rule_at_marked_line(fixture, rule_id, marker, count):
 def test_fixture_flagged_under_full_rule_set(fixture, rule_id):
     path = os.path.join(FIXTURES, fixture)
     result = lint_paths([path], force_kind="library")
+    assert rule_id in {violation.rule for violation in result.violations}
+
+
+@pytest.mark.parametrize(
+    "case,rule_id,marked_file,count",
+    W_FIXTURE_EXPECTATIONS,
+    ids=[case for case, _, _, _ in W_FIXTURE_EXPECTATIONS],
+)
+def test_interproc_fixture_tree(case, rule_id, marked_file, count):
+    """Each W-rule fixture tree flags exactly its marked line (or nothing).
+
+    These hazards span two files (or a call chain within one), so the
+    whole *directory* is linted — no single-file pass can reproduce
+    them.
+    """
+    tree = os.path.join(FIXTURES, "interproc", case)
+    result = lint_paths([tree], force_kind="library", rule_ids=[rule_id])
+    assert len(result.violations) == count, result.to_text()
+    if count:
+        marked_path = os.path.join(tree, marked_file)
+        violation = result.violations[0]
+        assert violation.rule == rule_id
+        assert violation.path == marked_path
+        assert violation.line == _marker_line(marked_path, "# MARK")
+
+
+@pytest.mark.parametrize(
+    "case,rule_id",
+    [(case, rule) for case, rule, marked, _ in W_FIXTURE_EXPECTATIONS if marked],
+    ids=[case for case, _, marked, _ in W_FIXTURE_EXPECTATIONS if marked],
+)
+def test_interproc_fixture_flagged_under_full_rule_set(case, rule_id):
+    tree = os.path.join(FIXTURES, "interproc", case)
+    result = lint_paths([tree], force_kind="library")
     assert rule_id in {violation.rule for violation in result.violations}
 
 
@@ -135,7 +187,10 @@ def test_fixture_corpus_is_skipped_when_walking_tests():
 def test_real_tree_is_clean():
     """The acceptance gate: zero findings over the entire repository."""
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    paths = [os.path.join(root, name) for name in ("src", "tests", "benchmarks", "examples")]
+    paths = [
+        os.path.join(root, name)
+        for name in ("src", "tests", "benchmarks", "examples", "tools")
+    ]
     result = lint_paths([path for path in paths if os.path.isdir(path)])
     assert result.ok, result.to_text()
 
