@@ -1,6 +1,6 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint lint-cold lint-sarif bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report all
+.PHONY: install test lint lint-cold lint-sarif bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report serve-smoke all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -59,4 +59,9 @@ examples:
 report:
 	PYTHONPATH=src python -m repro paper --scenario broot --scale small --outdir repro-report
 
-all: lint docs test bench
+# Boot two same-seed mapping daemons, query every /v1 endpoint over
+# real HTTP, and require byte-identical data responses.
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
+
+all: lint docs test serve-smoke bench

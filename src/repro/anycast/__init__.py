@@ -1,7 +1,17 @@
 """Anycast service model: sites, the service itself, and catchment maps."""
 
-from repro.anycast.catchment import CatchmentMap
+from repro.anycast.catchment import (
+    ArrayCatchmentMap,
+    CatchmentAccumulator,
+    CatchmentMap,
+)
 from repro.anycast.service import AnycastService
 from repro.anycast.site import AnycastSite
 
-__all__ = ["AnycastSite", "AnycastService", "CatchmentMap"]
+__all__ = [
+    "AnycastSite",
+    "AnycastService",
+    "CatchmentMap",
+    "ArrayCatchmentMap",
+    "CatchmentAccumulator",
+]

@@ -371,6 +371,135 @@ class ArrayCatchmentMap(CatchmentMap):
         )
 
 
+class CatchmentAccumulator:
+    """Mutable current-catchment state over a shared block universe.
+
+    The always-on mapping service folds a stream of measurement rounds
+    into one *current* catchment: every round remaps the blocks it
+    heard from and leaves the rest at their last-known site.  This
+    accumulator holds that state as a single ``int16`` site-index
+    column over the immutable universe and updates it **in place**,
+    block by block — no per-round rebuild of the map, no dict
+    materialisation.
+
+    Folding rounds through :meth:`apply_catchment` (or their kept
+    replies through :meth:`apply_blocks`, batch by batch, in stream
+    order) is bit-identical to a batch recompute that merges the same
+    rounds' ``{block: site}`` mappings in round order — asserted by
+    the equivalence tests in ``tests/test_service.py``.
+    """
+
+    def __init__(self, site_codes: Sequence[str], universe: np.ndarray) -> None:
+        self._site_codes = list(site_codes)
+        universe = np.asarray(universe, dtype=np.uint64)
+        if universe.ndim != 1:
+            raise ConfigurationError("block universe must be a 1-D array")
+        if universe.size > 1 and not (np.diff(universe.astype(np.int64)) > 0).all():
+            raise ConfigurationError("block universe must be strictly ascending")
+        self._universe = universe
+        self._sites = np.full(universe.size, -1, dtype=np.int16)
+        self._generation = 0
+
+    @property
+    def site_codes(self) -> List[str]:
+        """Site codes the accumulated indices refer to."""
+        return list(self._site_codes)
+
+    @property
+    def universe(self) -> np.ndarray:
+        """The shared sorted block universe (do not mutate)."""
+        return self._universe
+
+    @property
+    def generation(self) -> int:
+        """Number of updates applied so far (monotonic)."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._sites >= 0))
+
+    def apply_blocks(self, blocks: np.ndarray, site_indices: np.ndarray) -> int:
+        """Remap ``blocks`` to ``site_indices`` in place; returns rows changed.
+
+        Duplicate blocks within one call resolve last-write-wins, the
+        same way a dict merge of the batch would.  Blocks outside the
+        universe raise — the stream and the state must share one block
+        vocabulary.
+        """
+        blocks = np.asarray(blocks, dtype=np.uint64)
+        site_indices = np.asarray(site_indices, dtype=np.int16)
+        if blocks.shape != site_indices.shape or blocks.ndim != 1:
+            raise ConfigurationError(
+                "blocks and site_indices must be 1-D arrays of equal length"
+            )
+        if blocks.size == 0:
+            return 0
+        if site_indices.size and int(site_indices.max()) >= len(self._site_codes):
+            raise ConfigurationError("site index out of range for site_codes")
+        positions = np.searchsorted(self._universe, blocks)
+        positions = np.minimum(positions, max(self._universe.size - 1, 0))
+        if self._universe.size == 0 or not (
+            self._universe[positions] == blocks
+        ).all():
+            raise ConfigurationError("block outside the accumulator's universe")
+        # Last write wins on duplicate blocks: np.unique on the reversed
+        # array keeps each block's *last* original occurrence.
+        reversed_blocks = blocks[::-1]
+        _, first_in_reversed = np.unique(reversed_blocks, return_index=True)
+        keep = blocks.size - 1 - first_in_reversed  # ascending block order
+        positions = positions[keep]
+        updates = site_indices[keep]
+        changed = int(np.count_nonzero(self._sites[positions] != updates))
+        self._sites[positions] = updates
+        self._generation += 1
+        return changed
+
+    def apply_catchment(self, round_map: ArrayCatchmentMap) -> int:
+        """Fold one round's map in: its mapped rows overwrite, the rest keep.
+
+        Requires the round to share this accumulator's universe (the
+        same array object or equal contents), which is how the fast
+        engine materialises every round of a series — the update is
+        then a single masked scatter, no join.
+        """
+        if round_map.site_codes != self._site_codes:
+            raise ConfigurationError(
+                "round map's site codes differ from the accumulator's"
+            )
+        other = round_map.universe
+        if other is not self._universe and not (
+            other.shape == self._universe.shape
+            and np.array_equal(other, self._universe)
+        ):
+            raise ConfigurationError(
+                "round map's universe differs from the accumulator's"
+            )
+        incoming = round_map.site_index_array
+        mapped = incoming >= 0
+        changed = int(np.count_nonzero(self._sites[mapped] != incoming[mapped]))
+        self._sites[mapped] = incoming[mapped]
+        self._generation += 1
+        return changed
+
+    def site_index_of(self, block: int) -> int:
+        """Current site index of ``block`` (-1 = unmapped or unknown)."""
+        if not 0 <= block <= _UINT64_MAX or self._universe.size == 0:
+            return -1
+        pos = int(np.searchsorted(self._universe, np.uint64(block)))
+        if pos >= self._universe.size or int(self._universe[pos]) != block:
+            return -1
+        return int(self._sites[pos])
+
+    def snapshot(self) -> ArrayCatchmentMap:
+        """An immutable copy of the current state (universe stays shared)."""
+        return ArrayCatchmentMap(
+            self._site_codes,
+            self._universe,
+            self._sites.copy(),
+            validate=False,
+        )
+
+
 def columnar_catchment(
     site_codes: Sequence[str], mapping: Mapping[int, str]
 ) -> ArrayCatchmentMap:

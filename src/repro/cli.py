@@ -330,6 +330,59 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.service import MappingService, MeasurementState, replay_feed
+
+    scenario = _build_scenario(args)
+    observer = _observer_for(args)
+    if observer is NULL_OBSERVER:
+        # The daemon's /v1/metrics endpoint is part of the API surface;
+        # serve it populated even when no artifact flags were passed.
+        observer = Observer.collecting()
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
+    routing = verfploeter.routing_for()
+    estimate = LoadEstimate(scenario.day_load("serve-day"))
+    universe = np.array(verfploeter.hitlist.blocks, dtype=np.uint64)
+    state = MeasurementState(
+        routing.policy.site_codes,
+        universe,
+        estimate,
+        window_rounds=args.window,
+        ring_size=args.ring,
+        cleaning=verfploeter.cleaning,
+        observer=observer,
+    )
+    feed = replay_feed(
+        verfploeter,
+        routing=routing,
+        rounds=args.rounds,
+        interval_seconds=args.interval,
+        batch_size=args.batch_size,
+        start_round=args.start_round,
+    )
+    service = MappingService(state, feed, observer=observer)
+    host, port = service.serve_http(host=args.host, port=args.port)
+    print(f"serving on http://{host}:{port}")
+    print("endpoints: /v1/health /v1/catchment/<block> /v1/load "
+          "/v1/diff?rounds=N /v1/metrics")
+    completed = service.ingest()
+    view = state.view
+    print(f"ingested {completed} round(s); "
+          f"{len(view.catchment) if view.catchment is not None else 0} "
+          f"blocks mapped; {view.quarantined_batches} batch(es) quarantined")
+    if args.linger_seconds > 0:
+        time.sleep(args.linger_seconds)
+    service.shutdown()
+    _emit_observability(args, observer, scenario)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     observer = _observer_for(args)
@@ -408,6 +461,30 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("--threshold", type=float, default=120.0,
                          help="RTT (ms) above which a block is underserved")
     suggest.set_defaults(handler=_cmd_suggest)
+
+    serve = commands.add_parser(
+        "serve", help="always-on mapping service with a JSON query API"
+    )
+    _add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 binds an ephemeral port, printed)")
+    serve.add_argument("--rounds", type=int, default=4,
+                       help="measurement rounds to ingest before exiting")
+    serve.add_argument("--interval", type=float, default=900.0,
+                       help="simulated seconds between rounds")
+    serve.add_argument("--batch-size", type=int, default=512,
+                       help="replies per streamed batch")
+    serve.add_argument("--window", type=int, default=4,
+                       help="rounds in the sliding load window")
+    serve.add_argument("--ring", type=int, default=8,
+                       help="round snapshots kept for /v1/diff")
+    serve.add_argument("--start-round", type=int, default=0,
+                       help="first measurement id (65535 exercises rollover)")
+    serve.add_argument("--linger-seconds", type=float, default=0.0,
+                       help="keep serving this long after ingest finishes")
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="RSSAC-002-style daily traffic report"

@@ -16,8 +16,10 @@ from repro.collector.capture import (
 )
 from repro.collector.cleaning import CleaningConfig, CleaningResult, clean_replies
 from repro.collector.pcap import PcapCapture, PcapReader, PcapWriter
+from repro.collector.stream import StreamingCleaner
 
 __all__ = [
+    "StreamingCleaner",
     "SiteCapture",
     "StreamingCapture",
     "LanderCapture",

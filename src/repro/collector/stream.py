@@ -1,0 +1,139 @@
+"""Streaming reply cleaning: :func:`clean_replies` fed batch by batch.
+
+The batch cleaner sorts a whole round's replies and makes one pass; an
+always-on collector never *has* the whole round — replies arrive as the
+dataplane delivers them.  :class:`StreamingCleaner` applies the same §4
+rules (wrong round → unsolicited → late → duplicates, first matching
+rule counts) incrementally: each :meth:`~StreamingCleaner.feed` sorts
+only its own batch and checks duplicates against the addresses kept by
+every earlier batch.
+
+Equivalence contract: when the concatenation of the fed batches is in
+the batch cleaner's global sort order (timestamp, source, site,
+identifier, sequence) — which it is for batches chunked from a
+:class:`~repro.collector.aggregate.CentralCollector` drain — the
+cumulative :attr:`~StreamingCleaner.totals` are *identical* to one
+:func:`clean_replies` call over all replies at once, kept list
+included.  ``tests/test_collector.py`` asserts this for every batch
+size.
+
+Batches commit atomically: a batch that raises mid-way (a poisoned
+reply object, say) leaves the cleaner's counters, kept list, and
+duplicate-tracking state untouched, so the service can quarantine the
+batch and keep ingesting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Set
+
+from repro.collector.cleaning import CleaningConfig, CleaningResult
+from repro.icmp.network import DeliveredReply
+from repro.obs import NULL_OBSERVER, Observer
+
+def _reply_sort_key(reply: DeliveredReply):
+    """The batch cleaner's full tuple key (see ``cleaning.clean_replies``)."""
+    return (
+        reply.timestamp,
+        reply.source_address,
+        reply.site_code,
+        reply.identifier,
+        reply.sequence,
+    )
+
+
+class StreamingCleaner:
+    """One round's cleaning state, fed a reply stream batch by batch."""
+
+    def __init__(
+        self,
+        probed_addresses: Set[int],
+        round_identifier: int,
+        round_start: float,
+        config: Optional[CleaningConfig] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self._probed = probed_addresses
+        self._identifier = round_identifier & 0xFFFF
+        self._round_start = round_start
+        self._config = config if config is not None else CleaningConfig()
+        self._observer = observer if observer is not None else NULL_OBSERVER
+        self._seen: Set[int] = set()
+        self._totals = CleaningResult()
+        self._batches = 0
+
+    @property
+    def totals(self) -> CleaningResult:
+        """Cumulative result over every committed batch."""
+        return self._totals
+
+    @property
+    def batches(self) -> int:
+        """Number of batches committed so far."""
+        return self._batches
+
+    def feed(self, replies: Sequence[DeliveredReply]) -> CleaningResult:
+        """Clean one batch; returns the batch's own counts and kept replies.
+
+        The batch is staged completely before any state is committed:
+        if a malformed reply raises, the cleaner is exactly as it was
+        before the call (the caller quarantines the batch and moves on).
+        """
+        staged = CleaningResult()
+        staged_seen: Set[int] = set()
+        cutoff = self._config.late_cutoff_seconds
+        with self._observer.tracer.span(
+            "cleaning.stream.batch", batch=self._batches
+        ) as span:
+            for reply in sorted(replies, key=_reply_sort_key):
+                if reply.identifier != self._identifier:
+                    staged.wrong_round += 1
+                    continue
+                if reply.source_address not in self._probed:
+                    staged.unsolicited += 1
+                    continue
+                if reply.timestamp - self._round_start > cutoff:
+                    staged.late += 1
+                    continue
+                if (
+                    reply.source_address in self._seen
+                    or reply.source_address in staged_seen
+                ):
+                    staged.duplicates += 1
+                    continue
+                staged_seen.add(reply.source_address)
+                staged.kept.append(reply)
+            span.set(total=staged.total, kept=len(staged.kept))
+        # Commit: nothing above mutated self, so a raise leaves no trace.
+        self._seen |= staged_seen
+        self._totals.kept.extend(staged.kept)
+        self._totals.wrong_round += staged.wrong_round
+        self._totals.unsolicited += staged.unsolicited
+        self._totals.late += staged.late
+        self._totals.duplicates += staged.duplicates
+        self._batches += 1
+        metrics = self._observer.metrics
+        metrics.counter("cleaning.kept").inc(len(staged.kept))
+        metrics.counter("cleaning.dropped", rule="wrong_round").inc(
+            staged.wrong_round
+        )
+        metrics.counter("cleaning.dropped", rule="unsolicited").inc(
+            staged.unsolicited
+        )
+        metrics.counter("cleaning.dropped", rule="late").inc(staged.late)
+        metrics.counter("cleaning.dropped", rule="duplicate").inc(
+            staged.duplicates
+        )
+        return staged
+
+    def stream(
+        self, batches: Iterable[Sequence[DeliveredReply]]
+    ) -> Iterator[CleaningResult]:
+        """Generator over ``batches``: feed each, yield its batch result.
+
+        Lazily pulls from ``batches``, so an unbounded reply source
+        (the always-on service's dataplane feed) cleans in constant
+        memory per batch.
+        """
+        for batch in batches:
+            yield self.feed(batch)

@@ -86,6 +86,15 @@ class Verfploeter:
             observer=self.observer,
         )
 
+    @property
+    def prober(self) -> Prober:
+        """The deployment's prober (round schedules for external drivers).
+
+        The always-on service's reply feed schedules rounds through
+        this rather than re-deriving the prober's seeding.
+        """
+        return self._prober
+
     def _make_captures(self) -> List[SiteCapture]:
         captures: List[SiteCapture] = []
         for site in self.service.sites:

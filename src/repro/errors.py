@@ -60,6 +60,24 @@ class ConfigurationError(ReproError, ValueError):
     """A scenario or component was configured with invalid parameters."""
 
 
+class ServiceError(ReproError):
+    """The always-on mapping service was misused or is in a bad state."""
+
+
+class HttpError(ServiceError):
+    """A request the JSON API must answer with a structured error body.
+
+    Handlers raise this to short-circuit into a 4xx/5xx JSON response;
+    the WSGI layer renders ``{"error": {"status", "code", "message"}}``.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
 class EquivalenceError(ReproError, AssertionError):
     """Two results that must match bit for bit do not.
 

@@ -19,7 +19,10 @@ with four additions reflecting the tree as it actually is:
   every pipeline layer above it reports into it, so it may import
   nothing but ``errors``;
 * ``datasets`` and ``reporting`` sit between ``core`` and ``cli``:
-  they serialise and render *outputs* of the core drivers.
+  they serialise and render *outputs* of the core drivers;
+* ``service`` (the always-on mapping daemon) sits with them: it drives
+  ``core`` deployments and the layer-3 collector/load machinery, and
+  only ``cli`` sits above it.
 
 ``analysis`` is kept below ``core`` by construction: the result types
 it consumes (:class:`~repro.collector.results.ScanResult`,
@@ -38,7 +41,7 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("anycast", "bgp", "icmp", "dns", "traffic"),
     ("probing", "collector", "atlas", "resolvers", "load", "analysis"),
     ("core",),
-    ("datasets", "reporting"),
+    ("datasets", "reporting", "service"),
     ("cli", "__init__", "__main__"),
 )
 

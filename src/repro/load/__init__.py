@@ -3,8 +3,10 @@
 from repro.load.estimator import LoadEstimate
 from repro.load.prediction import PredictionComparison, compare_prediction
 from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+from repro.load.windowed import LoadWindow
 
 __all__ = [
+    "LoadWindow",
     "LoadEstimate",
     "SiteLoad",
     "UNKNOWN",

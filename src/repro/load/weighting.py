@@ -30,6 +30,10 @@ from repro.traffic.logs import HOURS
 
 UNKNOWN = "UNK"
 
+#: Shared read-only zero vector returned for sites with no hourly state.
+_ZERO_HOURS = np.zeros(HOURS)
+_ZERO_HOURS.flags.writeable = False
+
 
 class SiteLoad:
     """Predicted load per site, daily and hourly, including ``UNK``."""
@@ -49,8 +53,19 @@ class SiteLoad:
         return self._daily.get(site_code, 0.0)
 
     def hourly_of(self, site_code: str) -> np.ndarray:
-        """Hourly load vector of ``site_code``."""
-        return self._hourly.get(site_code, np.zeros(HOURS))
+        """Hourly load vector of ``site_code`` (a read-only view).
+
+        Present and absent sites alike return a non-writeable array:
+        callers may not mutate the load's internal state through the
+        returned vector, and writes to the absent-site zeros (which
+        would otherwise be silently lost) fail loudly instead.
+        """
+        vector = self._hourly.get(site_code)
+        if vector is None:
+            return _ZERO_HOURS
+        view = vector.view()
+        view.flags.writeable = False
+        return view
 
     def total(self, include_unknown: bool = True) -> float:
         """Total daily load."""
@@ -78,14 +93,18 @@ class SiteLoad:
 
         The normalising total is summed once, not per site — the
         divisions themselves are unchanged, so each share equals the
-        matching :meth:`fraction_of` exactly.
+        matching :meth:`fraction_of` exactly.  With
+        ``include_unknown=True`` the ``UNK`` bucket appears as its own
+        entry (equal to :meth:`unknown_fraction`), so the returned
+        shares always sum to 1.0 over a non-empty load.
         """
         total = self.total(include_unknown=include_unknown)
+        codes = (
+            [*self.site_codes, UNKNOWN] if include_unknown else self.site_codes
+        )
         if not total:
-            return {code: 0.0 for code in self.site_codes}
-        return {
-            code: self._daily.get(code, 0.0) / total for code in self.site_codes
-        }
+            return {code: 0.0 for code in codes}
+        return {code: self._daily.get(code, 0.0) / total for code in codes}
 
 
 def _weight_reference(

@@ -45,19 +45,26 @@ def _full_name(name: str, labels: Dict[str, object]) -> str:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    ``inc`` is locked: the always-on service updates counters from the
+    ingest thread and request-handler threads concurrently, and a bare
+    float ``+=`` is a read-modify-write race under free threading.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (default 1) to the counter."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> object:
         """JSON-ready value (int when whole, float otherwise)."""
@@ -88,7 +95,7 @@ class Gauge:
 class Histogram:
     """Cumulative-bucket histogram with a running sum and count."""
 
-    __slots__ = ("name", "buckets", "counts", "total", "count")
+    __slots__ = ("name", "buckets", "counts", "total", "count", "_lock")
 
     kind = "histogram"
 
@@ -103,16 +110,18 @@ class Histogram:
         self.counts = [0] * (len(resolved) + 1)  # trailing +inf bucket
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.total += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        """Record one observation (locked: sum/count/bucket move together)."""
+        with self._lock:
+            self.total += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready summary: count, sum, and per-bucket tallies."""

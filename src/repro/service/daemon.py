@@ -1,0 +1,165 @@
+"""The always-on mapping daemon: ingest loop plus HTTP front-end.
+
+A :class:`MappingService` couples a feed (any iterator of
+:mod:`repro.service.feed` events) to a
+:class:`~repro.service.state.MeasurementState` and serves the JSON API
+over a threaded ``wsgiref`` server — the standard library is the whole
+HTTP stack, no framework, no new dependency.
+
+Threads: one ingest thread drains the feed; the WSGI server spawns one
+short-lived thread per request.  They share nothing mutable — requests
+read the state's atomically published view — so there is no lock
+between ingest and queries.  Shutdown drains cleanly: the ingest loop
+checks the stop flag only at round boundaries, so a round that has
+started always ends (and publishes) before the thread exits, and the
+HTTP server is shut down after ingest has settled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Tuple
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from socketserver import ThreadingMixIn
+
+from repro.errors import ServiceError
+from repro.obs import Observer
+from repro.service.feed import FeedEvent, ReplyBatch, RoundEnd, RoundStart
+from repro.service.routes import build_app
+from repro.service.state import MeasurementState
+from repro.service.wsgi import JsonApp
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler that never writes access logs to stderr."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request logging (the observer carries metrics)."""
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemon threads so shutdown never hangs."""
+
+    daemon_threads = True
+
+
+class MappingService:
+    """Long-running service: feed in, JSON API out."""
+
+    def __init__(
+        self,
+        state: MeasurementState,
+        feed: Iterable[FeedEvent],
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self._state = state
+        self._feed = iter(feed)
+        self._observer = observer if observer is not None else state.observer
+        self._app = build_app(state, observer=self._observer)
+        self._stop = threading.Event()
+        self._ingest_thread: Optional[threading.Thread] = None
+        self._server: Optional[_ThreadingWSGIServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    @property
+    def state(self) -> MeasurementState:
+        """The measurement state this daemon maintains."""
+        return self._state
+
+    @property
+    def app(self) -> JsonApp:
+        """The WSGI app (callable directly, no socket needed, in tests)."""
+        return self._app
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, max_rounds: Optional[int] = None) -> int:
+        """Drain the feed synchronously; returns rounds completed.
+
+        Stops after ``max_rounds`` round ends (or feed exhaustion), and
+        honours :meth:`shutdown`'s stop flag **only at round
+        boundaries** — an open round is always finished and published,
+        never abandoned half-ingested.
+        """
+        completed = 0
+        state = self._state
+        for event in self._feed:
+            if isinstance(event, RoundStart):
+                if self._stop.is_set():
+                    break
+                state.begin_round(
+                    event.round_id,
+                    event.start_time,
+                    set(event.probed_addresses),
+                )
+            elif isinstance(event, ReplyBatch):
+                state.ingest_batch(event.replies)
+            elif isinstance(event, RoundEnd):
+                state.end_round()
+                completed += 1
+                if self._stop.is_set():
+                    break
+                if max_rounds is not None and completed >= max_rounds:
+                    break
+            else:
+                raise ServiceError(
+                    f"unknown feed event type {type(event).__name__}"
+                )
+        return completed
+
+    def start_ingest(self, max_rounds: Optional[int] = None) -> None:
+        """Run :meth:`ingest` on a background thread."""
+        if self._ingest_thread is not None:
+            raise ServiceError("ingest is already running")
+        self._ingest_thread = threading.Thread(
+            target=self.ingest,
+            kwargs={"max_rounds": max_rounds},
+            name="repro-serve-ingest",
+            daemon=True,
+        )
+        self._ingest_thread.start()
+
+    # -- HTTP --------------------------------------------------------------
+
+    def serve_http(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Start the HTTP front-end; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the default, so smoke runs
+        and parallel test workers never collide).
+        """
+        if self._server is not None:
+            raise ServiceError("the HTTP server is already running")
+        self._server = make_server(
+            host,
+            port,
+            self._app,
+            server_class=_ThreadingWSGIServer,
+            handler_class=_QuietHandler,
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        bound_host, bound_port = self._server.server_address[:2]
+        return str(bound_host), int(bound_port)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain and stop: finish the open round, then close the server."""
+        self._stop.set()
+        if self._ingest_thread is not None:
+            self._ingest_thread.join(timeout=timeout)
+            self._ingest_thread = None
+        if self._server is not None:
+            self._server.shutdown()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=timeout)
+                self._server_thread = None
+            self._server.server_close()
+            self._server = None

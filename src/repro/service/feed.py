@@ -1,0 +1,118 @@
+"""Reply-stream feeds that drive the always-on mapping service.
+
+The daemon consumes a flat event stream — :class:`RoundStart`, then any
+number of :class:`ReplyBatch` events, then :class:`RoundEnd`, repeated
+per round.  :func:`replay_feed` produces that stream from a
+:class:`~repro.core.verfploeter.Verfploeter` deployment by running the
+same fast-path round the batch scanner runs (schedule → simulated
+dataplane → per-site captures → central sorted merge) and then slicing
+the merged, globally sorted replies into batches.
+
+Because each round's concatenated batches are exactly the central
+collector's sorted drain, the streaming cleaner's equivalence contract
+holds (see :mod:`repro.collector.stream`): the service's incremental
+state is bit-identical to a batch ``run_scan`` over the same rounds.
+The generator is lazy — one round's replies are materialised at a
+time, so an arbitrarily long series streams in bounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Tuple, Union
+
+from repro.bgp.propagation import RoutingOutcome
+from repro.collector.aggregate import CentralCollector
+from repro.collector.capture import StreamingCapture
+from repro.core.verfploeter import Verfploeter
+from repro.errors import ServiceError
+from repro.icmp.network import DeliveredReply, SimulatedDataplane
+
+
+@dataclass(frozen=True)
+class RoundStart:
+    """A measurement round opened: the probes are on the wire."""
+
+    round_id: int
+    start_time: float
+    probed_addresses: FrozenSet[int]
+    probes_sent: int
+
+
+@dataclass(frozen=True)
+class ReplyBatch:
+    """One batch of delivered replies, in global collector sort order."""
+
+    round_id: int
+    replies: Tuple[DeliveredReply, ...]
+
+
+@dataclass(frozen=True)
+class RoundEnd:
+    """The round's reply stream is exhausted."""
+
+    round_id: int
+
+
+FeedEvent = Union[RoundStart, ReplyBatch, RoundEnd]
+
+
+def replay_feed(
+    verfploeter: Verfploeter,
+    routing: Optional[RoutingOutcome] = None,
+    rounds: int = 1,
+    interval_seconds: float = 900.0,
+    batch_size: int = 512,
+    start_round: int = 0,
+) -> Iterator[FeedEvent]:
+    """Generate the event stream of ``rounds`` measurement rounds.
+
+    ``start_round`` offsets the measurement ids (``start_round=65535``
+    exercises the 16-bit ICMP identifier rollover mid-stream).  Round
+    ``r`` starts at ``(r - start_round) * interval_seconds``, matching
+    a series begun when the daemon came up.
+    """
+    if rounds < 1:
+        raise ServiceError("rounds must be >= 1")
+    if batch_size < 1:
+        raise ServiceError("batch_size must be >= 1")
+    if routing is None:
+        routing = verfploeter.routing_for()
+    observer = verfploeter.observer
+    for index in range(rounds):
+        round_id = start_round + index
+        start_time = index * interval_seconds
+        with observer.tracer.span("service.feed.round", round_id=round_id):
+            dataplane = SimulatedDataplane(routing, verfploeter.latency_model)
+            collector = CentralCollector(
+                [
+                    StreamingCapture(site.code)
+                    for site in verfploeter.service.sites
+                ],
+                observer=observer,
+            )
+            schedule = verfploeter.prober.schedule_round(round_id, start_time)
+            probed = set()
+            for probe in schedule:
+                probed.add(probe.destination)
+                for reply in dataplane.send_probe_fast(
+                    probe.destination,
+                    probe.identifier,
+                    probe.sequence,
+                    probe.send_time,
+                    round_id,
+                ):
+                    collector.ingest(reply)
+            replies = collector.collect()
+        yield RoundStart(
+            round_id=round_id,
+            start_time=start_time,
+            probed_addresses=frozenset(probed),
+            probes_sent=len(schedule),
+        )
+        for offset in range(0, len(replies), batch_size):
+            yield ReplyBatch(
+                round_id=round_id,
+                replies=tuple(replies[offset : offset + batch_size]),
+            )
+        yield RoundEnd(round_id=round_id)

@@ -1,0 +1,214 @@
+"""Zero-dependency JSON-over-WSGI plumbing for the mapping service.
+
+No framework: a :class:`JsonApp` is a list of routes — HTTP method plus
+a path template like ``/v1/catchment/<block>`` — each mapped to a
+handler taking a :class:`Request` and returning a JSON-serialisable
+object (or a ``(status, object)`` pair).  Everything the app emits is
+JSON with sorted keys, *including* errors: handlers raise
+:class:`~repro.errors.HttpError` for structured 4xx responses, unknown
+paths get a 404 document, wrong methods a 405, and an unexpected
+handler exception is caught, counted, and rendered as an opaque 500 —
+a bad request must never take the daemon down.
+
+Determinism: responses are pure functions of service state and the
+request — ``json.dumps(..., sort_keys=True)`` with fixed separators,
+no timestamps, no object ids — so two same-seed daemons fed the same
+stream answer every endpoint byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import HttpError
+from repro.obs import NULL_OBSERVER, Observer
+
+_STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+#: ``<name>`` placeholders in route templates become path captures.
+_PLACEHOLDER = re.compile(r"<([a-z_]+)>")
+
+
+def _status_line(status: int) -> str:
+    """``"404 Not Found"``-style status line for the WSGI start_response."""
+    return f"{status} {_STATUS_REASONS.get(status, 'Unknown')}"
+
+
+def render_json(payload: object) -> bytes:
+    """Canonical JSON encoding: sorted keys, fixed separators, newline."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def error_body(status: int, code: str, message: str) -> Dict[str, object]:
+    """The structured error document every non-2xx response carries."""
+    return {"error": {"status": status, "code": code, "message": message}}
+
+
+class Request:
+    """One parsed request: path captures and query parameters."""
+
+    def __init__(
+        self,
+        path: str,
+        params: Dict[str, str],
+        query: Dict[str, str],
+    ) -> None:
+        self.path = path
+        self.params = params
+        self.query = query
+
+    def query_int(
+        self,
+        name: str,
+        default: Optional[int] = None,
+        minimum: Optional[int] = None,
+    ) -> Optional[int]:
+        """Integer query parameter, or ``default`` when absent.
+
+        Malformed or out-of-range values raise a 400
+        :class:`~repro.errors.HttpError` naming the parameter.
+        """
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise HttpError(
+                400, "bad-parameter", f"query parameter {name!r} must be an integer"
+            ) from None
+        if minimum is not None and value < minimum:
+            raise HttpError(
+                400, "bad-parameter",
+                f"query parameter {name!r} must be >= {minimum}",
+            )
+        return value
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    """Minimal query-string parsing (no repeats, no encoding surprises)."""
+    query: Dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        query[key] = value
+    return query
+
+
+def _compile_template(template: str) -> "re.Pattern":
+    """Compile ``/v1/catchment/<block>`` into an anchored path regex.
+
+    ``re.split`` on the placeholder pattern (which has one capture
+    group) alternates literal text and placeholder names; literals are
+    escaped, placeholders become named ``[^/]+`` captures.
+    """
+    parts = _PLACEHOLDER.split(template)
+    compiled = [
+        f"(?P<{part}>[^/]+)" if index % 2 else re.escape(part)
+        for index, part in enumerate(parts)
+    ]
+    return re.compile("^" + "".join(compiled) + "$")
+
+
+class _Route:
+    """One compiled route: method, path regex, handler."""
+
+    def __init__(self, method: str, template: str, handler: Callable) -> None:
+        self.method = method
+        self.template = template
+        self.regex = _compile_template(template)
+        self.handler = handler
+
+
+class JsonApp:
+    """A WSGI application mapping routes to JSON handlers."""
+
+    def __init__(self, observer: Optional[Observer] = None) -> None:
+        self._routes: List[_Route] = []
+        self._observer = observer if observer is not None else NULL_OBSERVER
+
+    def route(self, method: str, template: str, handler: Callable) -> None:
+        """Register ``handler`` for ``method`` requests matching ``template``."""
+        self._routes.append(_Route(method.upper(), template, handler))
+
+    def get(self, template: str, handler: Callable) -> None:
+        """Register a GET route."""
+        self.route("GET", template, handler)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, method: str, path: str, query: Dict[str, str]):
+        """Resolve and run the handler; returns ``(status, payload)``."""
+        path_matched = False
+        for route in self._routes:
+            match = route.regex.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if route.method != method:
+                continue
+            request = Request(path, match.groupdict(), query)
+            result = route.handler(request)
+            if isinstance(result, tuple):
+                return result
+            return 200, result
+        if path_matched:
+            raise HttpError(
+                405, "method-not-allowed", f"{method} is not supported here"
+            )
+        raise HttpError(404, "not-found", f"no such endpoint: {path}")
+
+    def respond(
+        self, method: str, path: str, query_string: str = ""
+    ) -> Tuple[int, bytes]:
+        """In-process request: returns ``(status, body bytes)``.
+
+        Tests and the smoke tool call this directly; the WSGI entry
+        point below wraps it for real HTTP servers.
+        """
+        metrics = self._observer.metrics
+        try:
+            status, payload = self._dispatch(
+                method, path, _parse_query(query_string)
+            )
+        except HttpError as err:
+            status, payload = err.status, error_body(
+                err.status, err.code, err.message
+            )
+        except Exception:  # reprolint: disable=E302 — service boundary: a crashing handler must become a 500, not kill the daemon
+            metrics.counter("service.errors", kind="handler").inc()
+            status, payload = 500, error_body(
+                500, "internal-error", "unexpected error handling the request"
+            )
+        metrics.counter("service.requests", status=status).inc()
+        return status, render_json(payload)
+
+    # -- WSGI --------------------------------------------------------------
+
+    def __call__(self, environ, start_response) -> Iterable[bytes]:
+        """The WSGI callable."""
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        query_string = environ.get("QUERY_STRING", "")
+        with self._observer.tracer.span("service.request"):
+            status, body = self.respond(method, path, query_string)
+        start_response(
+            _status_line(status),
+            [
+                ("Content-Type", "application/json; charset=utf-8"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]

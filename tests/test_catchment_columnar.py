@@ -255,6 +255,26 @@ class TestWeightCatchmentEquivalence:
             shares = load.fractions(include_unknown=include_unknown)
             for code in load.site_codes:
                 assert shares[code] == load.fraction_of(code, include_unknown)
+            # The shares partition the normalising total: they must sum
+            # to 1.0 whichever way the total was taken.
+            assert sum(shares.values()) == pytest.approx(1.0)
+            if include_unknown:
+                assert UNKNOWN in shares
+                assert shares[UNKNOWN] == load.unknown_fraction()
+            else:
+                assert UNKNOWN not in shares
+
+    def test_hourly_of_returns_read_only_views(self, catchments, estimate):
+        _, columnar_map = catchments
+        load = weight_catchment(columnar_map, estimate)
+        present = load.site_codes[0]
+        for code in (present, UNKNOWN, "NO-SUCH-SITE"):
+            vector = load.hourly_of(code)
+            assert not vector.flags.writeable
+            with pytest.raises(ValueError):
+                vector[0] = 123.0
+        # The refused write must not have leaked into internal state.
+        assert np.array_equal(load.hourly_of(present), load.hourly_of(present))
 
     def test_hourly_matrix_matches_scalar_rows(self, broot_tiny):
         for kind in sorted(LoadKind.ALL):

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.obs",
+    "repro.service",
 ]
 
 
@@ -53,6 +54,7 @@ def test_errors_hierarchy():
     for name in (
         "AddressError", "TopologyError", "RoutingError", "MeasurementError",
         "PacketError", "DNSError", "DatasetError", "ConfigurationError",
+        "ServiceError", "HttpError",
     ):
         exception_type = getattr(errors, name)
         assert issubclass(exception_type, errors.ReproError)
