@@ -44,6 +44,8 @@ bench-obs:
 bench-sharded:
 	REPRO_SHARDED_BENCH=full PYTHONPATH=src python -m pytest benchmarks/bench_extension_sharded_scan.py --benchmark-only -s
 
+# Small-scale variant: two sharded series on one persistent ShardPool
+# plus the pooled load join, all asserted bit-identical.
 bench-sharded-smoke:
 	PYTHONPATH=src python -m pytest benchmarks/bench_extension_sharded_scan.py --benchmark-only -s
 

@@ -143,18 +143,22 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         # Sharded path: the vectorised engine fanned over the block
         # universe — bit-identical catchments/RTTs/stats to the scalar
         # run below, just evaluated shard by shard (optionally across
-        # worker processes).
+        # worker processes).  One ShardPool spans the whole invocation,
+        # so its workers attach the memmapped universe once.
         from repro.core.fastscan import FastScanEngine
-        from repro.core.sharding import run_sharded_series
+        from repro.core.pool import ShardPool
+        from repro.core.sharding import resolve_fanout, run_sharded_series
 
         engine = FastScanEngine(verfploeter)
-        scan = run_sharded_series(
-            engine,
-            rounds=1,
-            shards=args.shards,
-            workers=args.workers,
-            dataset_prefix="cli-scan",
-        )[0]
+        shards, workers = resolve_fanout(args.shards, args.workers)
+        with ShardPool(workers=workers, observer=observer) as pool:
+            scan = run_sharded_series(
+                engine,
+                rounds=1,
+                shards=shards,
+                dataset_prefix="cli-scan",
+                pool=pool,
+            )[0]
         # The series namer appends "-r000"; a single CLI round keeps the
         # plain scan's dataset id so the artifacts diff byte-identical.
         scan = dataclasses.replace(scan, dataset_id="cli-scan")
@@ -228,11 +232,22 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     verfploeter = Verfploeter(
         scenario.internet, scenario.service, observer=observer
     )
-    series = run_stability_series(
-        verfploeter, rounds=args.rounds, interval_seconds=900.0,
-        cache=RoutingCache(observer=observer),
-        shards=args.shards, workers=args.workers,
-    )
+    if args.shards is not None or args.workers is not None:
+        from repro.core.pool import ShardPool
+        from repro.core.sharding import resolve_fanout
+
+        shards, workers = resolve_fanout(args.shards, args.workers)
+        with ShardPool(workers=workers, observer=observer) as pool:
+            series = run_stability_series(
+                verfploeter, rounds=args.rounds, interval_seconds=900.0,
+                cache=RoutingCache(observer=observer),
+                shards=shards, pool=pool,
+            )
+    else:
+        series = run_stability_series(
+            verfploeter, rounds=args.rounds, interval_seconds=900.0,
+            cache=RoutingCache(observer=observer),
+        )
     print(format_stability_table(series, every=max(1, args.rounds // 8)))
     print()
     print(format_flip_table(flip_table(series, scenario.internet)))
@@ -349,6 +364,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     routing = verfploeter.routing_for()
     estimate = LoadEstimate(scenario.day_load("serve-day"))
     universe = np.array(verfploeter.hitlist.blocks, dtype=np.uint64)
+    pool = None
+    weighter = None
+    if args.workers is not None:
+        # Daemon-lifetime pool: every round-end load join fans over the
+        # same warm workers (bit-identical to the in-process join).
+        from repro.core.pool import ShardPool
+        from repro.core.sharding import sharded_weight_catchment
+
+        pool = ShardPool(workers=args.workers, observer=observer)
+
+        def weighter(catchment, estimate, hourly=True, observer=None):
+            return sharded_weight_catchment(
+                catchment, estimate, hourly=hourly, observer=observer,
+                pool=pool,
+            )
+
     state = MeasurementState(
         routing.policy.site_codes,
         universe,
@@ -357,6 +388,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ring_size=args.ring,
         cleaning=verfploeter.cleaning,
         observer=observer,
+        weighter=weighter,
     )
     feed = replay_feed(
         verfploeter,
@@ -379,6 +411,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.linger_seconds > 0:
         time.sleep(args.linger_seconds)
     service.shutdown()
+    if pool is not None:
+        pool.shutdown()
     _emit_observability(args, observer, scenario)
     return 0
 
@@ -484,6 +518,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first measurement id (65535 exercises rollover)")
     serve.add_argument("--linger-seconds", type=float, default=0.0,
                        help="keep serving this long after ingest finishes")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan round-end load joins over N worker "
+                            "processes held for the daemon's lifetime "
+                            "(0 runs the sharded join inline)")
     serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(

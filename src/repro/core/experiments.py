@@ -120,6 +120,7 @@ def run_stability_series(
     parallel: int = 1,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
+    pool=None,
 ) -> StabilitySeries:
     """Run the paper's 24-hour stability experiment (§6.3).
 
@@ -132,13 +133,15 @@ def run_stability_series(
     state).  ``shards``/``workers`` instead fan the fast engine over
     the block universe in worker processes via
     :func:`repro.core.sharding.run_sharded_series` (bit-identical
-    again; setting either implies ``fast``).  The routing state is
-    resolved through ``cache``, so a series over an already-studied
-    policy skips propagation entirely.
+    again; setting either implies ``fast``), and an open
+    :class:`repro.core.pool.ShardPool` passed as ``pool`` lets several
+    series in one invocation share warm worker processes.  The routing
+    state is resolved through ``cache``, so a series over an
+    already-studied policy skips propagation entirely.
     """
     observer = verfploeter.observer
     routing_cache = cache if cache is not None else default_routing_cache()
-    sharded = shards is not None or workers is not None
+    sharded = shards is not None or workers is not None or pool is not None
     with observer.tracer.span(
         "experiment.stability_series", rounds=rounds, fast=fast or sharded
     ):
@@ -157,6 +160,7 @@ def run_stability_series(
                 workers=workers,
                 interval_seconds=interval_seconds,
                 dataset_prefix="stability",
+                pool=pool,
             )
         elif fast:
             from repro.core.fastscan import FastScanEngine
@@ -217,12 +221,29 @@ class SiteFailureResult:
         return worst, self.overload_factor(worst)
 
 
+def _pooled_failure_scan(
+    verfploeter: Verfploeter, routing, dataset_id: str, pool
+) -> ScanResult:
+    """One round-0 scan of a routing state, sharded over ``pool``."""
+    import dataclasses
+
+    from repro.core.fastscan import FastScanEngine
+    from repro.core.sharding import run_sharded_series
+
+    engine = FastScanEngine(verfploeter, routing)
+    scan = run_sharded_series(
+        engine, rounds=1, pool=pool, dataset_prefix=dataset_id
+    )[0]
+    return dataclasses.replace(scan, dataset_id=dataset_id)
+
+
 def site_failure_study(
     verfploeter: Verfploeter,
     estimate: LoadEstimate,
     sites: Optional[Sequence[str]] = None,
     cache: Optional[RoutingCache] = None,
     parallel: int = 1,
+    pool=None,
 ) -> List[SiteFailureResult]:
     """Withdraw each site in turn and predict the load redistribution.
 
@@ -230,6 +251,12 @@ def site_failure_study(
     catchment with Verfploeter, weight by historical load, and compare
     per-site daily load against the all-sites baseline.  Each
     withdrawal's routing is a delta against the all-sites baseline.
+
+    With an open :class:`repro.core.pool.ShardPool` as ``pool``, every
+    withdrawal's scan and load join fan over the pool's warm workers
+    (round 0 per routing state through the vectorised engine, so
+    per-scan values match ``FastScanEngine.run_scan(0)`` rather than
+    the scalar path's per-withdrawal round ids).
     """
     service = verfploeter.service
     internet = verfploeter.internet
@@ -239,13 +266,23 @@ def site_failure_study(
         baseline_routing = routing_cache.get_or_compute(
             internet, service.default_policy()
         )
-        baseline_scan = verfploeter.run_scan(
-            routing=baseline_routing, dataset_id="failure-baseline",
-            wire_level=False,
-        )
-        baseline_load = weight_catchment(
-            baseline_scan.catchment, estimate, observer=observer
-        )
+        if pool is not None:
+            from repro.core.sharding import sharded_weight_catchment
+
+            baseline_scan = _pooled_failure_scan(
+                verfploeter, baseline_routing, "failure-baseline", pool
+            )
+            baseline_load = sharded_weight_catchment(
+                baseline_scan.catchment, estimate, pool=pool, observer=observer
+            )
+        else:
+            baseline_scan = verfploeter.run_scan(
+                routing=baseline_routing, dataset_id="failure-baseline",
+                wire_level=False,
+            )
+            baseline_load = weight_catchment(
+                baseline_scan.catchment, estimate, observer=observer
+            )
         baseline = {
             code: baseline_load.daily_of(code)
             for code in (*service.site_codes, UNKNOWN)
@@ -257,15 +294,25 @@ def site_failure_study(
             with observer.tracer.span("failure.withdrawal", site=site_code):
                 policy = service.policy(withdrawn=[site_code])
                 routing = routing_cache.get_or_compute(internet, policy)
-                scan = verfploeter.run_scan(
-                    routing=routing,
-                    round_id=100 + index,
-                    dataset_id=f"failure-{site_code}",
-                    wire_level=False,
-                )
-                after_load = weight_catchment(
-                    scan.catchment, estimate, observer=observer
-                )
+                if pool is not None:
+                    from repro.core.sharding import sharded_weight_catchment
+
+                    scan = _pooled_failure_scan(
+                        verfploeter, routing, f"failure-{site_code}", pool
+                    )
+                    after_load = sharded_weight_catchment(
+                        scan.catchment, estimate, pool=pool, observer=observer
+                    )
+                else:
+                    scan = verfploeter.run_scan(
+                        routing=routing,
+                        round_id=100 + index,
+                        dataset_id=f"failure-{site_code}",
+                        wire_level=False,
+                    )
+                    after_load = weight_catchment(
+                        scan.catchment, estimate, observer=observer
+                    )
             after = {
                 code: after_load.daily_of(code)
                 for code in (*service.site_codes, UNKNOWN)

@@ -366,6 +366,25 @@ class FastScanEngine:
             with self.observer.profile("fastscan.precompute"):
                 self.state = self._precompute(verfploeter)
             span.set(blocks=self.state.rows, sites=len(self.state.site_codes))
+        self._external: Dict[str, str] = {}
+
+    def externalize(self, store) -> str:
+        """Persist this engine's round state through ``store``; returns
+        the content fingerprint workers attach by.
+
+        Cached per store root, so a pool running several series over one
+        engine fingerprints and persists at most once.
+        """
+        from repro.core.tables import persist_round_state
+
+        cached = self._external.get(store.root)
+        if cached is not None:
+            return cached
+        with self.observer.tracer.span("fastscan.externalize") as span:
+            fingerprint = persist_round_state(store, self.state)
+            span.set(fingerprint=fingerprint, blocks=self.state.rows)
+        self._external[store.root] = fingerprint
+        return fingerprint
 
     def _precompute(self, verfploeter: Verfploeter) -> RoundState:
         """Build every round-invariant array (one pass per routing state)."""

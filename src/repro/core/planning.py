@@ -81,6 +81,22 @@ def _mean_rtt(scan: ScanResult) -> float:
     return sum(scan.rtts.values()) / len(scan.rtts)
 
 
+def _pooled_scan(
+    verfploeter: Verfploeter, routing, dataset_id: str, pool
+) -> ScanResult:
+    """One round-0 scan of a candidate configuration over ``pool``."""
+    import dataclasses
+
+    from repro.core.fastscan import FastScanEngine
+    from repro.core.sharding import run_sharded_series
+
+    engine = FastScanEngine(verfploeter, routing)
+    scan = run_sharded_series(
+        engine, rounds=1, pool=pool, dataset_prefix=dataset_id
+    )[0]
+    return dataclasses.replace(scan, dataset_id=dataset_id)
+
+
 def evaluate_site_addition(
     scenario: Scenario,
     site_code: str,
@@ -89,6 +105,7 @@ def evaluate_site_addition(
     test_prefix: Optional[Prefix] = None,
     upstream_asn: Optional[int] = None,
     cache: Optional[RoutingCache] = None,
+    pool=None,
 ) -> SiteAdditionResult:
     """Measure the effect of adding a site at (latitude, longitude).
 
@@ -98,6 +115,12 @@ def evaluate_site_addition(
     ``cache``: the test-prefix clone announces exactly what production
     does, so its baseline is typically already cached, and the trial
     propagates as a site-addition delta against it.
+
+    With an open :class:`repro.core.pool.ShardPool` as ``pool``, both
+    scans run through the vectorised engine sharded over the pool's
+    warm workers (round 0 per configuration) — the planner's lattice
+    search evaluates many candidates against one pool, paying the
+    universe externalisation once.
     """
     test_prefix = test_prefix if test_prefix is not None else Prefix("192.88.99.0/24")
     routing_cache = cache if cache is not None else default_routing_cache()
@@ -129,16 +152,24 @@ def evaluate_site_addition(
     baseline_routing = routing_cache.get_or_compute(
         scenario.internet, baseline_service.default_policy()
     )
-    baseline = baseline_vp.run_scan(routing=baseline_routing,
-                                    dataset_id="addition-baseline",
-                                    wire_level=False)
     trial_vp = Verfploeter(scenario.internet, trial_service)
     trial_routing = routing_cache.get_or_compute(
         scenario.internet, trial_service.default_policy()
     )
-    trial = trial_vp.run_scan(routing=trial_routing,
-                              dataset_id=f"addition-{site_code}",
-                              wire_level=False)
+    if pool is not None:
+        baseline = _pooled_scan(
+            baseline_vp, baseline_routing, "addition-baseline", pool
+        )
+        trial = _pooled_scan(
+            trial_vp, trial_routing, f"addition-{site_code}", pool
+        )
+    else:
+        baseline = baseline_vp.run_scan(routing=baseline_routing,
+                                        dataset_id="addition-baseline",
+                                        wire_level=False)
+        trial = trial_vp.run_scan(routing=trial_routing,
+                                  dataset_id=f"addition-{site_code}",
+                                  wire_level=False)
 
     captured = len(trial.catchment.blocks_of_site(site_code))
     return SiteAdditionResult(

@@ -1,12 +1,23 @@
-"""Sharded multiprocess scanning and load weighting.
+"""Sharded multiprocess scanning and load weighting, zero-copy edition.
 
 The paper maps catchments for the whole responsive IPv4 Internet —
 millions of /24 blocks — which wants more than one core.  This module
 partitions the shared uint64 block universe into contiguous ranges
-(:class:`ShardPlan`), fans :func:`repro.core.fastscan.evaluate_round`
-and the load-weighting join across a ``ProcessPoolExecutor`` of
-top-level (spawn-safe, picklable) workers, and deterministically
-concatenates the per-shard columns back into full-universe results.
+(:class:`ShardPlan`) and fans :func:`repro.core.fastscan.evaluate_round`
+and the load-weighting join across a persistent
+:class:`repro.core.pool.ShardPool`, then deterministically concatenates
+the per-shard columns back into full-universe results.
+
+Workers are zero-copy: the parent externalises every round-invariant
+column once through :class:`repro.core.tables.TableStore`
+(:meth:`FastScanEngine.externalize`, :func:`ensure_array`), and a task
+payload is just ``(store root, fingerprint, shard bounds, round
+params)`` — a few hundred bytes regardless of universe size.  Each
+worker process attaches the fingerprinted arrays as read-only memmaps
+through a per-process cache (`core.pool`), so repeated series over one
+engine ship no arrays at all.  Results come back compact too: kept-only
+site/delay columns plus a packed keep mask; the parent rebuilds full
+columns against its own copy of the universe.
 
 The merged output is **bit-identical** to the single-process path, by
 construction rather than by luck:
@@ -19,20 +30,22 @@ construction rather than by luck:
   (:meth:`_VectorPermutation.positions_of`), multiplying the identical
   integer position by the identical float interval;
 * float accumulations are never merged as per-shard partial sums
-  (float addition is not associative).  Sharded weighting splits the
-  exact-integer join by traffic rows and fans whole hour columns —
-  each a complete single-pass ``bincount`` — across workers, so every
-  float64 accumulator sees the identical sequence of additions.
+  (float addition is not associative).  Workers return exact integers
+  (int16 site indices, packed bool masks, per-row float64 delays that
+  are copied, never summed); the parent owns **all** float
+  accumulation, running each daily/hourly ``bincount`` as one full
+  pass in fixed order — the identical sequence of additions the
+  single-process join performs.
 
-This is the only module in the library allowed to touch
-``ProcessPoolExecutor``/``multiprocessing`` (reprolint rule D112), and
-every pool target here is a module-level function.
+Process-pool construction lives in `repro.core.pool` (reprolint rule
+D112); every pool target here is a module-level function resolving
+fingerprints through that module's per-process attach cache.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
 from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,12 +54,9 @@ import numpy as np
 
 from repro.anycast.catchment import ArrayCatchmentMap
 from repro.collector.results import BlockValueMap, ScanResult, ScanStats
-from repro.core.fastscan import (
-    FastScanEngine,
-    RoundState,
-    evaluate_round,
-    materialise_columnar,
-)
+from repro.core.fastscan import FastScanEngine, RoundState, evaluate_round
+from repro.core.pool import ShardPool, attached_array, attached_round_state
+from repro.core.tables import ensure_array
 from repro.errors import ConfigurationError, DatasetError, EquivalenceError
 from repro.load.estimator import LoadEstimate
 from repro.load.weighting import UNKNOWN, SiteLoad
@@ -203,7 +213,7 @@ def merge_stats(parts: Sequence[ScanStats]) -> ScanStats:
     )
 
 
-def _resolve_fanout(shards: Optional[int], workers: Optional[int]) -> Tuple[int, int]:
+def resolve_fanout(shards: Optional[int], workers: Optional[int]) -> Tuple[int, int]:
     """Fill in the shard/worker defaults (workers=0 means run inline)."""
     if shards is None:
         shards = workers if workers else 1
@@ -216,48 +226,56 @@ def _resolve_fanout(shards: Optional[int], workers: Optional[int]) -> Tuple[int,
     return shards, workers
 
 
-# -- process-pool workers (top-level so they pickle under spawn) -----------
+def _payload_bytes(payloads: Sequence[object]) -> int:
+    """Total pickled size of a fan-out's payloads (instrumentation)."""
+    return sum(len(pickle.dumps(payload)) for payload in payloads)
 
 
-def _scan_shard_worker(payload) -> List[ScanResult]:
-    """Evaluate every round of one shard; returns per-round results.
+# -- pool workers (top-level so they pickle; fingerprints in, columns out) --
 
-    The returned results all reference the shard's universe array
-    through the shared ``RoundState``, so pickling the list serialises
-    that universe once (pickle memoises the ndarray object).
+
+def _scan_shard_worker(payload) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, ScanStats]]:
+    """Evaluate every round of one shard; returns compact round columns.
+
+    The payload carries no arrays — just the store root, the round
+    state's content fingerprint, and the shard bounds; the state is
+    attached (or found warm) in this process's cache.  Each round comes
+    back as ``(kept site indices, packed keep mask, kept delays,
+    stats)``: the parent rebuilds full-universe columns from its own
+    copy, so result pickling scales with *kept* rows only.
     """
-    state, rounds, interval_seconds, dataset_prefix = payload
-    results: List[ScanResult] = []
+    store_root, fingerprint, start, stop, rounds = payload
+    state = attached_round_state(store_root, fingerprint).shard(start, stop)
+    results = []
     for round_id in range(rounds):
         arrays = evaluate_round(state, round_id)
         results.append(
-            materialise_columnar(
-                state,
-                arrays,
-                round_id,
-                round_id * interval_seconds,
-                f"{dataset_prefix}-r{round_id:03d}",
+            (
+                arrays.site[arrays.kept_mask],
+                np.packbits(arrays.kept_mask),
+                arrays.delay[arrays.kept_mask],
+                arrays.stats,
             )
         )
     return results
 
 
 def _join_shard_worker(payload) -> np.ndarray:
-    """Resolve one slice of traffic blocks to site indices (int16)."""
-    site_codes, universe, sites, traffic_blocks = payload
-    catchment = ArrayCatchmentMap(site_codes, universe, sites, validate=False)
-    return catchment.site_indices_of(traffic_blocks)
+    """Resolve one slice of traffic blocks to site indices (int16).
 
-
-def _hour_columns_worker(payload) -> np.ndarray:
-    """Accumulate a chunk of whole hour columns (exact single passes)."""
-    buckets, columns, minlength = payload
-    out = np.empty((minlength, columns.shape[1]), dtype=np.float64)
-    for offset in range(columns.shape[1]):
-        out[:, offset] = np.bincount(
-            buckets, weights=columns[:, offset], minlength=minlength
-        )
-    return out
+    All three columns — catchment universe, site indices, and traffic
+    blocks — arrive as fingerprints and are read from this process's
+    attached memmaps; only the int16 result slice is shipped back.
+    """
+    store_root, site_codes, universe_fp, sites_fp, blocks_fp, start, stop = payload
+    catchment = ArrayCatchmentMap(
+        site_codes,
+        attached_array(store_root, universe_fp),
+        attached_array(store_root, sites_fp),
+        validate=False,
+    )
+    traffic_blocks = attached_array(store_root, blocks_fp)
+    return catchment.site_indices_of(traffic_blocks[start:stop])
 
 
 # -- sharded scan series ---------------------------------------------------
@@ -265,19 +283,37 @@ def _hour_columns_worker(payload) -> np.ndarray:
 
 def _merge_round(
     state: RoundState,
-    shard_rounds: Sequence[ScanResult],
+    shard_rounds: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray, ScanStats]],
+    bounds: Sequence[Tuple[int, int]],
     round_id: int,
     interval_seconds: float,
     dataset_prefix: str,
 ) -> ScanResult:
-    """Concatenate one round's shard columns into a full-universe result."""
-    site_parts = [result.catchment.site_index_array for result in shard_rounds]
+    """Rebuild one round's full-universe result from compact shard columns.
+
+    Exactly mirrors :func:`repro.core.fastscan.materialise_columnar`
+    per shard — full site column is ``-1`` except where the keep mask
+    is set, RTT rows are the kept blocks in shard order — then
+    concatenates, so the result is bit-identical to evaluating the
+    full universe in one pass.
+    """
+    site_parts: List[np.ndarray] = []
+    block_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
+    for (start, stop), (kept_sites, packed_mask, kept_delays, _) in zip(
+        bounds, shard_rounds
+    ):
+        rows = stop - start
+        mask = np.unpackbits(packed_mask, count=rows).view(np.bool_)
+        sites = np.full(rows, -1, dtype=np.int16)
+        sites[mask] = kept_sites
+        site_parts.append(sites)
+        block_parts.append(state.blocks[start:stop][mask].astype(np.int64))
+        value_parts.append(kept_delays)
     sites = site_parts[0] if len(site_parts) == 1 else np.concatenate(site_parts)
     catchment = ArrayCatchmentMap(
         state.site_codes, state.blocks, sites, validate=False
     )
-    block_parts = [result.rtts.block_array() for result in shard_rounds]
-    value_parts = [result.rtts.value_array() for result in shard_rounds]
     rtts = BlockValueMap(
         block_parts[0] if len(block_parts) == 1 else np.concatenate(block_parts),
         value_parts[0] if len(value_parts) == 1 else np.concatenate(value_parts),
@@ -288,7 +324,7 @@ def _merge_round(
         start_time=round_id * interval_seconds,
         duration_seconds=state.n_total * state.interval,
         catchment=catchment,
-        stats=merge_stats([result.stats for result in shard_rounds]),
+        stats=merge_stats([part[3] for part in shard_rounds]),
         rtts=rtts,
     )
 
@@ -301,64 +337,63 @@ def run_sharded_series(
     interval_seconds: float = 900.0,
     dataset_prefix: str = "fast-series",
     observer: Optional[Observer] = None,
+    pool: Optional[ShardPool] = None,
+    store=None,
 ) -> List[ScanResult]:
     """A stability series fanned across block shards and worker processes.
 
     Equivalent to ``engine.run_series(rounds, ...)`` — same dataset
     ids, same start times, bit-identical catchments, RTTs, and stats —
-    but each shard of the block universe is evaluated independently
-    (``workers >= 1`` in a process pool; ``workers == 0`` inline, for
-    tests and platforms without fork).  Merged results share the
-    engine's universe array, so consecutive-round diffs stay pure
-    array compares.
+    but each shard of the block universe is evaluated independently.
+    Pass an open :class:`~repro.core.pool.ShardPool` to reuse warm
+    workers (and their attach caches) across calls; otherwise a
+    temporary pool is created for this series (``workers >= 1`` in
+    processes; ``workers == 0`` inline through the same fingerprint
+    protocol, for tests and platforms without fork).  Merged results
+    share the engine's universe array, so consecutive-round diffs stay
+    pure array compares.
     """
     if rounds < 1:
         raise ConfigurationError("rounds must be >= 1")
-    shards, workers = _resolve_fanout(shards, workers)
     if observer is None:
         observer = engine.observer
     state = engine.state
-    plan = ShardPlan.split(state.rows, shards)
-    payloads = [
-        (state.shard(start, stop), rounds, interval_seconds, dataset_prefix)
-        for start, stop in plan.bounds
-    ]
-    with observer.tracer.span(
-        "scan.sharded_series",
-        rounds=rounds,
-        shards=plan.shard_count,
-        workers=workers,
-    ) as span:
-        per_shard: List[List[ScanResult]] = []
-        if workers == 0:
-            for index, payload in enumerate(payloads):
-                with observer.tracer.span(
-                    "scan.shard", shard=index, rows=payload[0].rows
-                ):
-                    per_shard.append(_scan_shard_worker(payload))
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_scan_shard_worker, payload)
-                    for payload in payloads
-                ]
-                for index, future in enumerate(futures):
-                    with observer.tracer.span(
-                        "scan.shard", shard=index, rows=payloads[index][0].rows
-                    ):
-                        per_shard.append(future.result())
-        merged = [
-            _merge_round(
-                state,
-                [shard_rounds[round_id] for shard_rounds in per_shard],
-                round_id,
-                interval_seconds,
-                dataset_prefix,
+    with ExitStack() as stack:
+        if pool is None:
+            shards, workers = resolve_fanout(shards, workers)
+            pool = stack.enter_context(
+                ShardPool(workers=workers, store=store, observer=observer)
             )
-            for round_id in range(rounds)
-        ]
-        span.set(blocks=state.rows)
+        else:
+            shards, _ = resolve_fanout(shards, pool.workers)
+        plan = ShardPlan.split(state.rows, shards)
+        with observer.tracer.span(
+            "scan.sharded_series",
+            rounds=rounds,
+            shards=plan.shard_count,
+            workers=pool.workers,
+        ) as span:
+            fingerprint = engine.externalize(pool.store)
+            payloads = [
+                (pool.store.root, fingerprint, start, stop, rounds)
+                for start, stop in plan.bounds
+            ]
+            payload_bytes = _payload_bytes(payloads)
+            per_shard = pool.map(_scan_shard_worker, payloads, observer=observer)
+            merged = [
+                _merge_round(
+                    state,
+                    [shard_rounds[round_id] for shard_rounds in per_shard],
+                    plan.bounds,
+                    round_id,
+                    interval_seconds,
+                    dataset_prefix,
+                )
+                for round_id in range(rounds)
+            ]
+            span.set(blocks=state.rows, payload_bytes=payload_bytes)
     metrics = observer.metrics
+    metrics.counter("scan.shard.payload_bytes").inc(payload_bytes)
     metrics.gauge("scan.shards").set(plan.shard_count)
     metrics.gauge("scan.shard_imbalance").set(plan.imbalance())
     return merged
@@ -374,15 +409,20 @@ def sharded_weight_catchment(
     workers: Optional[int] = None,
     hourly: bool = True,
     observer: Optional[Observer] = None,
+    pool: Optional[ShardPool] = None,
+    store=None,
 ) -> SiteLoad:
-    """Load weighting with the join and hour columns fanned over workers.
+    """Load weighting with the exact-int join fanned over workers.
 
     Bit-identical to :func:`repro.load.weighting.weight_catchment` on
-    the same array-backed catchment: the traffic-row join returns exact
-    int16 site indices (trivially shardable), the daily ``bincount``
-    runs as one pass in the parent, and workers compute *whole* hour
-    columns — complete single-pass accumulations — never partial float
-    sums, which would break bit-identity through non-associativity.
+    the same array-backed catchment: workers resolve slices of the
+    traffic-row join to exact int16 site indices over memmapped
+    columns (nothing but fingerprints and bounds is shipped out, int16
+    slices shipped back), while the parent owns every float
+    accumulation — the daily ``bincount`` and each hour column run as
+    full single passes in fixed order, exactly as the single-process
+    join performs them.  Pass an open ``ShardPool`` to share warm
+    workers with a scan series.
     """
     if observer is None:
         observer = NULL_OBSERVER
@@ -392,28 +432,40 @@ def sharded_weight_catchment(
         )
     if len(estimate) == 0:
         raise DatasetError("load estimate is empty")
-    shards, workers = _resolve_fanout(shards, workers)
     site_codes = catchment.site_codes
     unknown_bucket = len(site_codes)
     traffic_blocks = estimate.blocks
-    plan = ShardPlan.split(traffic_blocks.size, shards)
-    join_payloads = [
-        (site_codes, catchment.universe, catchment.site_index_array,
-         traffic_blocks[start:stop])
-        for start, stop in plan.bounds
-    ]
-    with observer.tracer.span(
-        "load.weight.sharded", shards=plan.shard_count, workers=workers
-    ) as span:
-        with ExitStack() as stack:
-            if workers == 0:
-                mapper = map
-            else:
-                pool = stack.enter_context(
-                    ProcessPoolExecutor(max_workers=workers)
+    with ExitStack() as stack:
+        if pool is None:
+            shards, workers = resolve_fanout(shards, workers)
+            pool = stack.enter_context(
+                ShardPool(workers=workers, store=store, observer=observer)
+            )
+        else:
+            shards, _ = resolve_fanout(shards, pool.workers)
+        plan = ShardPlan.split(traffic_blocks.size, shards)
+        with observer.tracer.span(
+            "load.weight.sharded", shards=plan.shard_count, workers=pool.workers
+        ) as span:
+            universe_fp = ensure_array(pool.store, catchment.universe)
+            sites_fp = ensure_array(pool.store, catchment.site_index_array)
+            blocks_fp = ensure_array(pool.store, traffic_blocks)
+            join_payloads = [
+                (
+                    pool.store.root,
+                    site_codes,
+                    universe_fp,
+                    sites_fp,
+                    blocks_fp,
+                    start,
+                    stop,
                 )
-                mapper = pool.map
-            index_parts = list(mapper(_join_shard_worker, join_payloads))
+                for start, stop in plan.bounds
+            ]
+            payload_bytes = _payload_bytes(join_payloads)
+            index_parts = pool.map(
+                _join_shard_worker, join_payloads, observer=observer
+            )
             buckets = _buckets_of(index_parts, unknown_bucket)
             daily_values = estimate.source.daily_of_kind(estimate.kind)
             daily_sums = np.bincount(
@@ -422,22 +474,22 @@ def sharded_weight_catchment(
             hourly_sums = np.zeros((unknown_bucket + 1, HOURS))
             if hourly:
                 matrix = estimate.hourly_matrix()
-                hour_plan = ShardPlan.split(HOURS, min(max(workers, 1), HOURS))
-                hour_payloads = [
-                    (buckets, matrix[:, start:stop], unknown_bucket + 1)
-                    for start, stop in hour_plan.bounds
-                ]
-                parts = list(mapper(_hour_columns_worker, hour_payloads))
-                for (start, stop), part in zip(hour_plan.bounds, parts):
-                    hourly_sums[:, start:stop] = part
-        daily = {code: float(daily_sums[i]) for i, code in enumerate(site_codes)}
-        daily[UNKNOWN] = float(daily_sums[unknown_bucket])
-        hourly_acc: Dict[str, np.ndarray] = {
-            code: hourly_sums[i] for i, code in enumerate(site_codes)
-        }
-        hourly_acc[UNKNOWN] = hourly_sums[unknown_bucket]
-        span.set(join_rows=len(estimate))
-    observer.metrics.gauge("load.join_rows").set(len(estimate))
+                for hour in range(HOURS):
+                    hourly_sums[:, hour] = np.bincount(
+                        buckets,
+                        weights=matrix[:, hour],
+                        minlength=unknown_bucket + 1,
+                    )
+            daily = {code: float(daily_sums[i]) for i, code in enumerate(site_codes)}
+            daily[UNKNOWN] = float(daily_sums[unknown_bucket])
+            hourly_acc: Dict[str, np.ndarray] = {
+                code: hourly_sums[i] for i, code in enumerate(site_codes)
+            }
+            hourly_acc[UNKNOWN] = hourly_sums[unknown_bucket]
+            span.set(join_rows=len(estimate), payload_bytes=payload_bytes)
+    metrics = observer.metrics
+    metrics.counter("scan.shard.payload_bytes").inc(payload_bytes)
+    metrics.gauge("load.join_rows").set(len(estimate))
     return SiteLoad(site_codes, daily, hourly_acc)
 
 

@@ -18,20 +18,27 @@ written last and its presence is what marks a fingerprint as complete.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import ConfigurationError, DatasetError
 from repro.geo.geodb import GeoColumns
 from repro.obs import run_metadata
 from repro.traffic.logs import DayLoad
 
 _ENV_ROOT = "REPRO_TABLE_CACHE"
 _MANIFEST = "manifest.json"
+
+#: blake2b digest size matching :func:`repro.obs.run_metadata`'s
+#: fingerprints, so content keys and scenario keys look alike on disk.
+_DIGEST_SIZE = 8
 
 
 def scenario_fingerprint(name: str, scale: str, seed: int) -> str:
@@ -216,4 +223,200 @@ def attached_day_load(
         store.read_array(fingerprint, f"{prefix}.queries"),
         store.read_array(fingerprint, f"{prefix}.good_fraction"),
         store.read_array(fingerprint, f"{prefix}.reply_fraction"),
+    )
+
+
+# -- content-addressed arrays and round state ------------------------------
+#
+# Scenario tables above key by *identity* (name, scale, seed); everything
+# below keys by *content*: the fingerprint is a blake2b over dtype, shape,
+# and raw bytes, so two runs that build the same arrays share one on-disk
+# copy, and a stale cache entry is impossible by construction.
+
+
+def content_fingerprint(
+    arrays: Mapping[str, np.ndarray],
+    scalars: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Content hash of named arrays (plus optional JSON-able scalars).
+
+    Arrays are hashed as ``name | dtype | shape | raw bytes`` in sorted
+    name order; the hash never copies a C-contiguous buffer.  Same
+    digest size as :func:`repro.obs.run_metadata` fingerprints, so the
+    two kinds of key are interchangeable as store directory names.
+    """
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    if scalars:
+        digest.update(
+            json.dumps(scalars, sort_keys=True, default=str).encode("utf-8")
+        )
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(memoryview(array).cast("B"))
+    return digest.hexdigest()
+
+
+#: Recently-fingerprinted arrays, keyed by object id.  Each entry holds
+#: the array itself, so a cached id cannot be recycled by the allocator
+#: while its entry lives; FIFO eviction bounds the held references.
+#: Safe because every array persisted through this module is treated as
+#: immutable (most are literally read-only memmaps or engine state that
+#: is never written after precompute).
+_FINGERPRINT_MEMO: "OrderedDict[int, Tuple[np.ndarray, str]]" = OrderedDict()
+_FINGERPRINT_MEMO_LIMIT = 16
+
+
+def _memoised_fingerprint(array: np.ndarray) -> str:
+    entry = _FINGERPRINT_MEMO.get(id(array))
+    if entry is not None and entry[0] is array:
+        return entry[1]
+    fingerprint = content_fingerprint({"array": array})
+    _FINGERPRINT_MEMO[id(array)] = (array, fingerprint)
+    while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_LIMIT:
+        _FINGERPRINT_MEMO.popitem(last=False)
+    return fingerprint
+
+
+def ensure_array(store: TableStore, array: np.ndarray) -> str:
+    """Persist one array content-addressed; returns its fingerprint.
+
+    Idempotent: an array whose fingerprint already exists in ``store``
+    is not rewritten.  Repeat calls with the *same array object* skip
+    even the hash (weighting joins pass the same universe and traffic
+    columns round after round).
+    """
+    fingerprint = _memoised_fingerprint(array)
+    if not store.has(fingerprint):
+        store.write_array(fingerprint, "array", array)
+        store.write_manifest(
+            fingerprint,
+            {
+                "kind": "array",
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+            },
+        )
+    return fingerprint
+
+
+def attach_array(store: TableStore, fingerprint: str) -> np.ndarray:
+    """Attach one content-addressed array as a read-only memmap."""
+    manifest = store.read_manifest(fingerprint)
+    if manifest.get("kind") != "array":
+        raise DatasetError(
+            f"fingerprint {fingerprint} holds {manifest.get('kind')!r}, "
+            "not a single array"
+        )
+    return store.read_array(fingerprint, "array")
+
+
+#: Per-row columns of a :class:`repro.core.fastscan.RoundState`, in the
+#: order they are hashed and persisted (``site_rtt`` is 2-D; the salt
+#: prefixes are stored as ``state.prefix.<salt>``).
+_STATE_COLUMNS = (
+    "blocks",
+    "base",
+    "alternate",
+    "flipper",
+    "participates",
+    "stable",
+    "off_address",
+    "duplicator",
+    "site_rtt",
+    "access",
+    "lat_ok",
+)
+
+
+def _round_state_arrays(state) -> Dict[str, np.ndarray]:
+    arrays = {f"state.{name}": getattr(state, name) for name in _STATE_COLUMNS}
+    for salt, prefix in state.prefixes.items():
+        arrays[f"state.prefix.{int(salt)}"] = prefix
+    return arrays
+
+
+def _round_state_scalars(state) -> Dict[str, object]:
+    return {
+        "kind": "round_state",
+        "site_codes": list(state.site_codes),
+        "salts": sorted(int(salt) for salt in state.prefixes),
+        "jitter_scale": state.jitter_scale,
+        "host_config": dataclasses.asdict(state.host_config),
+        "flip_config": dataclasses.asdict(state.flip_config),
+        "late_cutoff": state.late_cutoff,
+        "interval": state.interval,
+        "order_parent_seed": state.order_parent_seed,
+        "n_total": state.n_total,
+    }
+
+
+def persist_round_state(store: TableStore, state) -> str:
+    """Persist a full-universe ``RoundState``; returns its fingerprint.
+
+    This is what shrinks shard-worker payloads to a few hundred bytes:
+    the parent externalises the engine's round-invariant columns once,
+    and every worker re-attaches them as read-only memmaps by
+    fingerprint instead of unpickling hundreds of megabytes per task.
+    Idempotent per content; shard slices are refused (workers slice
+    after attaching, so only the full state is ever stored).
+    """
+    if state.row_start != 0 or state.rows != state.n_total:
+        raise ConfigurationError(
+            "only a full-universe RoundState can be persisted; "
+            f"got rows [{state.row_start}, {state.row_start + state.rows}) "
+            f"of {state.n_total}"
+        )
+    scalars = _round_state_scalars(state)
+    arrays = _round_state_arrays(state)
+    fingerprint = content_fingerprint(arrays, scalars)
+    if store.has(fingerprint):
+        return fingerprint
+    for name, array in arrays.items():
+        store.write_array(fingerprint, name, array)
+    store.write_manifest(fingerprint, scalars)
+    return fingerprint
+
+
+def attach_round_state(store: TableStore, fingerprint: str):
+    """Rebuild a persisted ``RoundState`` backed by read-only memmaps.
+
+    Every array column is attached, not copied; scalars and the two
+    model configs come back from the manifest.  Raises
+    :class:`~repro.errors.DatasetError` when the fingerprint holds
+    something other than a round state.
+    """
+    # Deferred import: fastscan imports this module for persistence.
+    from repro.bgp.instability import FlipModelConfig
+    from repro.core.fastscan import RoundState
+    from repro.topology.hosts import HostModelConfig
+
+    manifest = store.read_manifest(fingerprint)
+    if manifest.get("kind") != "round_state":
+        raise DatasetError(
+            f"fingerprint {fingerprint} holds {manifest.get('kind')!r}, "
+            "not a round state"
+        )
+    columns = {
+        name: store.read_array(fingerprint, f"state.{name}")
+        for name in _STATE_COLUMNS
+    }
+    prefixes = {
+        int(salt): store.read_array(fingerprint, f"state.prefix.{int(salt)}")
+        for salt in manifest["salts"]
+    }
+    return RoundState(
+        site_codes=list(manifest["site_codes"]),
+        prefixes=prefixes,
+        jitter_scale=float(manifest["jitter_scale"]),
+        host_config=HostModelConfig(**manifest["host_config"]),
+        flip_config=FlipModelConfig(**manifest["flip_config"]),
+        late_cutoff=float(manifest["late_cutoff"]),
+        interval=float(manifest["interval"]),
+        order_parent_seed=int(manifest["order_parent_seed"]),
+        n_total=int(manifest["n_total"]),
+        row_start=0,
+        **columns,
     )

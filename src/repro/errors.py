@@ -78,6 +78,16 @@ class HttpError(ServiceError):
         self.message = message
 
 
+class PoolError(ReproError):
+    """A shard pool was used after shutdown or its workers died.
+
+    Raised instead of the executor's own ``RuntimeError``/
+    ``BrokenProcessPool`` so callers fanning work over a
+    :class:`repro.core.pool.ShardPool` get a clean library error (never
+    a hang) when the pool is shut down mid-use.
+    """
+
+
 class EquivalenceError(ReproError, AssertionError):
     """Two results that must match bit for bit do not.
 

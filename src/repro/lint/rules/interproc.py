@@ -41,7 +41,7 @@ from repro.lint.violations import LIBRARY, Violation, register_rule
 
 _DERIVE_NAMES = ("derive_seed", "derive_rng")
 
-_PROCESS_POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+_PROCESS_POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool", "ShardPool"})
 _THREAD_POOL_CTORS = frozenset({"ThreadPoolExecutor"})
 
 _MUTATOR_METHODS = frozenset(
@@ -783,7 +783,8 @@ class PoolEscapeRule:
     scope = "project"
     kinds = (LIBRARY,)
     wants_context = True
-    version = 1
+    #: v2: ShardPool fan-outs count as process-pool roots.
+    version = 2
 
     def check(self, files, context=None) -> Iterable[Violation]:
         context = _context_for(files, context)
@@ -944,7 +945,8 @@ class FloatAccumulationRule:
     scope = "project"
     kinds = (LIBRARY,)
     wants_context = True
-    version = 1
+    #: v2: ShardPool fan-outs count as process-pool roots.
+    version = 2
 
     def check(self, files, context=None) -> Iterable[Violation]:
         context = _context_for(files, context)

@@ -1,8 +1,9 @@
 """Process-pool hygiene (rule ``D112``).
 
 Process-level fan-out lives in a short list of sanctioned homes —
-:mod:`repro.core.sharding` for simulation work and
-:mod:`repro.lint.parallel` for ``reprolint --jobs`` — because every
+:mod:`repro.core.pool` for simulation work (the sharded paths all route
+through its ``ShardPool``) and :mod:`repro.lint.parallel` for
+``reprolint --jobs`` — because every
 pool carries the same two correctness obligations: results must merge
 bit-identically to the single-process path, and every target callable
 must be a *top-level* function so it pickles under the ``spawn`` start
@@ -24,7 +25,7 @@ from repro.lint.violations import ALL_KINDS, LIBRARY, Violation, register_rule
 #: Modules allowed to import pool machinery (as path suffixes, matched
 #: against the reported file path with separators normalised).
 _POOL_HOME_SUFFIXES = (
-    "repro/core/sharding.py",
+    "repro/core/pool.py",
     "repro/lint/parallel.py",
 )
 
@@ -100,13 +101,13 @@ def _callee_name(func: ast.AST) -> Optional[str]:
 
 @register_rule
 class ProcessPoolHygieneRule:
-    """D112: process pools outside the sharding module or with unpicklable targets."""
+    """D112: process pools outside repro.core.pool or with unpicklable targets."""
 
     rule_id = "D112"
     name = "process-pool-hygiene"
     description = (
         "process-level fan-out belongs in the sanctioned pool homes "
-        "(repro.core.sharding, repro.lint.parallel); importing "
+        "(repro.core.pool, repro.lint.parallel); importing "
         "multiprocessing or ProcessPoolExecutor elsewhere in the library "
         "is flagged, and pool submit/map targets must be top-level "
         "functions — lambdas and nested defs do not pickle under spawn"
@@ -114,9 +115,11 @@ class ProcessPoolHygieneRule:
     scope = "file"
     kinds = ALL_KINDS
     #: v2: repro.lint.parallel joined the sanctioned pool homes.
-    version = 2
+    #: v3: repro.core.pool replaced repro.core.sharding as the library's
+    #: pool home, and ShardPool counts as a pool constructor.
+    version = 3
 
-    _POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+    _POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool", "ShardPool"})
 
     def check(self, files) -> Iterable[Violation]:
         source = files[0]
@@ -149,7 +152,7 @@ class ProcessPoolHygieneRule:
                             node,
                             "import of 'multiprocessing' outside a "
                             "sanctioned pool home; route process fan-out "
-                            "through repro.core.sharding",
+                            "through repro.core.pool",
                             None,
                         )
                         break
@@ -160,7 +163,7 @@ class ProcessPoolHygieneRule:
                         node,
                         "import from 'multiprocessing' outside a "
                         "sanctioned pool home; route process fan-out "
-                        "through repro.core.sharding",
+                        "through repro.core.pool",
                         None,
                     )
                 elif module.startswith("concurrent.futures"):
@@ -170,7 +173,7 @@ class ProcessPoolHygieneRule:
                                 node,
                                 "import of ProcessPoolExecutor outside "
                                 "a sanctioned pool home; route process "
-                                "fan-out through repro.core.sharding",
+                                "fan-out through repro.core.pool",
                                 alias.asname or alias.name,
                             )
 

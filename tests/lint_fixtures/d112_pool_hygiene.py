@@ -1,4 +1,4 @@
-"""Fixture: D112 — pool machinery outside repro.core.sharding."""
+"""Fixture: D112 — pool machinery outside repro.core.pool."""
 
 from concurrent.futures import ProcessPoolExecutor  # MARK
 

@@ -99,7 +99,7 @@ class TestShardedSeriesEquivalence:
         for merged, expected in zip(sharded, baseline):
             assert_scan_results_identical(merged, expected)
 
-    def test_boundary_splits_a_site_catchment(self):
+    def test_boundary_splits_a_site_catchment(self, tmp_path):
         # The interesting shard boundary is one that cuts through a
         # site's catchment: blocks of the same site land in different
         # shards and must reassemble exactly.
@@ -119,11 +119,15 @@ class TestShardedSeriesEquivalence:
         state = engine.state
         from repro.core.sharding import _merge_round, _scan_shard_worker
 
+        store = TableStore(root=str(tmp_path))
+        fingerprint = engine.externalize(store)
         shard_rounds = [
-            _scan_shard_worker((state.shard(start, stop), 1, 900.0, "fast-series"))[0]
+            _scan_shard_worker((store.root, fingerprint, start, stop, 1))[0]
             for start, stop in plan.bounds
         ]
-        merged = _merge_round(state, shard_rounds, 0, 900.0, "fast-series")
+        merged = _merge_round(
+            state, shard_rounds, plan.bounds, 0, 900.0, "fast-series"
+        )
         assert_scan_results_identical(merged, baseline)
 
     def test_process_pool_matches_inline(self):
@@ -173,16 +177,44 @@ class TestPickling:
         assert_buffers_equal(clone.site_index_array, catchment.site_index_array)
         assert clone.counts() == catchment.counts()
 
-    def test_shared_universe_pickles_once(self):
-        # Rounds of one shard all reference the same universe array, so
-        # a 4-round payload must be far smaller than 4x one round.
+    def test_worker_payload_is_tiny(self, tmp_path):
+        # The zero-copy contract: a scan-shard payload is (store root,
+        # fingerprint, bounds, rounds) — a few hundred bytes no matter
+        # how many blocks the universe holds.
         engine = _engine_for(3)
-        from repro.core.sharding import _scan_shard_worker
+        store = TableStore(root=str(tmp_path))
+        fingerprint = engine.externalize(store)
+        payload = (store.root, fingerprint, 0, engine.state.rows, 96)
+        assert len(pickle.dumps(payload)) < 4096
 
-        state = engine.state
-        one = len(pickle.dumps(_scan_shard_worker((state, 1, 900.0, "p"))))
-        four = len(pickle.dumps(_scan_shard_worker((state, 4, 900.0, "p"))))
-        assert four < 3.5 * one
+    def test_worker_never_receives_a_universe_array(self, tmp_path):
+        # Regression for the pre-pool protocol, which shipped the full
+        # RoundState (block/site/geo columns) to every worker: nothing
+        # in a payload may be an ndarray at all, let alone one the size
+        # of the block universe.
+        engine = _engine_for(3)
+        store = TableStore(root=str(tmp_path))
+        fingerprint = engine.externalize(store)
+        plan = ShardPlan.split(engine.state.rows, 3)
+        payloads = [
+            (store.root, fingerprint, start, stop, 4)
+            for start, stop in plan.bounds
+        ]
+
+        def flatten(value):
+            if isinstance(value, (tuple, list)):
+                for item in value:
+                    yield from flatten(item)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    yield from flatten(item)
+            else:
+                yield value
+
+        for payload in payloads:
+            for leaf in flatten(pickle.loads(pickle.dumps(payload))):
+                assert not isinstance(leaf, np.ndarray)
+                assert isinstance(leaf, (str, int, float))
 
     def test_scan_result_roundtrips_bitwise(self):
         engine = _engine_for(3)
