@@ -1,6 +1,6 @@
 # Convenience targets for the verfploeter reproduction.
 
-.PHONY: install test lint lint-cold lint-sarif bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke docs examples report serve-smoke all
+.PHONY: install test lint lint-cold lint-sarif bench bench-delta bench-columnar bench-obs bench-sharded bench-sharded-smoke bench-playbook docs examples report serve-smoke all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -48,6 +48,11 @@ bench-sharded:
 # plus the pooled load join, all asserted bit-identical.
 bench-sharded-smoke:
 	PYTHONPATH=src python -m pytest benchmarks/bench_extension_sharded_scan.py --benchmark-only -s
+
+# Regenerate the playbook-search perf baseline (BENCH_playbook.json):
+# cache-accelerated search vs scratch, artifacts asserted byte-identical.
+bench-playbook:
+	PYTHONPATH=src python -m pytest benchmarks/bench_extension_playbook.py --benchmark-only -s
 
 # Documentation gate: every intra-repo markdown link resolves, and the
 # README quickstart (observer included) still runs end to end.

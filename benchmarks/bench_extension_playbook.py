@@ -1,0 +1,140 @@
+"""Extension: cache-accelerated playbook search vs from-scratch.
+
+The planner evaluates a ~100-config prepend/withdraw lattice.  From
+scratch every candidate pays a BGP propagation plus a full scan; with
+the shared :class:`~repro.bgp.cache.RoutingCache` (delta-on-miss) and
+the planner's per-policy catchment memo, a repeated search — the
+"operator replans under the same attack" path, and the reporting
+pipeline's — costs almost nothing.  Timings land in
+``BENCH_playbook.json`` at the repo root; the run also asserts the
+playbook artifact is byte-identical cold vs cold and cold vs warm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bgp.cache import RoutingCache
+from repro.core.playbook import PlaybookPlanner, derive_capacities
+from repro.core.verfploeter import Verfploeter
+from repro.load.estimator import LoadEstimate
+from repro.load.weighting import weight_catchment
+from repro.obs import run_metadata
+from repro.traffic.attack import AttackProfile, compose_attack
+
+from conftest import BENCH_SCALE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_playbook.json")
+
+#: Acceptance floor: the warm (memo + routing cache) search must beat
+#: the cold search by at least this factor.
+MIN_SPEEDUP = 10.0
+
+ATTACKED = "IAD"
+DEPTH = 2
+MAX_PREPEND = 3
+
+
+def _best_of(runner, repeats: int = 3):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_extension_playbook(benchmark, tangled):
+    internet = tangled.internet
+    service = tangled.service
+    day = tangled.day_load("bench-playbook-day")
+
+    def fresh_planner():
+        return PlaybookPlanner(
+            Verfploeter(internet, service), cache=RoutingCache(maxsize=256)
+        )
+
+    # Shared, deterministic inputs (attack + capacities), built once.
+    setup = fresh_planner()
+    baseline_catchment = setup.catchment_for(service.default_policy())
+    baseline_load = weight_catchment(baseline_catchment, LoadEstimate(day))
+    profile = AttackProfile(target_site=ATTACKED)
+    attack_day, attackers = compose_attack(
+        day, baseline_catchment, profile, internet.seed
+    )
+    estimate = LoadEstimate(attack_day)
+    capacities = derive_capacities(baseline_load, service.site_codes)
+
+    def plan_with(planner):
+        return planner.plan(
+            estimate,
+            ATTACKED,
+            capacities,
+            max_prepend=MAX_PREPEND,
+            depth=DEPTH,
+            attack=profile,
+            attacker_count=len(attackers),
+        )
+
+    # -- cold: new planner + new cache every run ---------------------------
+    cold_seconds, cold = _best_of(lambda: plan_with(fresh_planner()))
+
+    # -- warm: same planner replans — catchment memo + routing cache hits --
+    warm_planner = fresh_planner()
+    plan_with(warm_planner)  # prime
+    warm_seconds, warm = _best_of(lambda: plan_with(warm_planner))
+
+    # Byte-identity: two cold runs agree, and the warm path must not buy
+    # its speed with a different answer.
+    cold_again = plan_with(fresh_planner())
+    assert cold.to_json() == cold_again.to_json(), "cold search not deterministic"
+    assert cold.to_json() == warm.to_json(), "warm search diverged from cold"
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    configs = len(cold.ranked)
+    payload = {
+        "meta": run_metadata(
+            scenario=tangled.name,
+            scale=tangled.scale,
+            seed=internet.seed,
+        ),
+        "scale": BENCH_SCALE,
+        "attacked_site": ATTACKED,
+        "depth": DEPTH,
+        "max_prepend": MAX_PREPEND,
+        "configs_evaluated": configs,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup_warm_vs_cold": round(speedup, 1),
+        "top_config": cold.top.entry.label,
+        "clears_violations": cold.recommendation.clears_violations,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print()
+    print(
+        f"playbook search, scale={BENCH_SCALE}, attack on {ATTACKED}, "
+        f"{configs} configs:"
+    )
+    print(f"  cold search (scratch) {cold_seconds:8.3f} s")
+    print(f"  warm search (cached)  {warm_seconds:8.5f} s  ({speedup:.0f}x)")
+    print(
+        f"  top config: {cold.top.entry.label} "
+        f"(violations={cold.top.violation_count})"
+    )
+    print(f"  (recorded in {os.path.basename(RESULT_PATH)})")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm search only {speedup:.1f}x faster (need >= {MIN_SPEEDUP}x)"
+    )
+
+    benchmark.pedantic(
+        lambda: plan_with(warm_planner), rounds=1, iterations=1
+    )

@@ -18,6 +18,7 @@ Quickstart::
 from repro.anycast import AnycastService, AnycastSite, CatchmentMap
 from repro.bgp import AnnouncementPolicy, compute_routes
 from repro.core import (
+    PlaybookPlanner,
     Scenario,
     ScanResult,
     Verfploeter,
@@ -33,7 +34,7 @@ from repro.errors import ReproError
 from repro.load import LoadEstimate, weight_catchment
 from repro.obs import NULL_OBSERVER, Observer
 from repro.topology import Internet, TopologyConfig, build_internet
-from repro.traffic import DayLoad, LoadKind, build_day_load
+from repro.traffic import AttackProfile, DayLoad, LoadKind, build_day_load
 
 __version__ = "1.0.0"
 
@@ -61,6 +62,8 @@ __all__ = [
     "DayLoad",
     "LoadKind",
     "build_day_load",
+    "AttackProfile",
+    "PlaybookPlanner",
     "LoadEstimate",
     "weight_catchment",
     "Observer",

@@ -19,6 +19,7 @@ against the very topology they were built from.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -43,6 +44,21 @@ def policy_fingerprint(policy: AnnouncementPolicy) -> tuple:
         (entry.site_code, entry.upstream_asn, entry.prepend, entry.no_export_to)
         for entry in policy.announcements
     )
+
+
+def policy_digest(policy: AnnouncementPolicy) -> str:
+    """Short stable hex id of a policy's announcement set.
+
+    A blake2b-8 digest of the same announcement tuple that keys the
+    :class:`RoutingCache`, so two policies share a digest exactly when
+    they share a cache identity (with internet, config and flip model
+    held fixed, as they are within one planning search).  The playbook
+    planner uses it as the config-lattice key: stable across processes
+    and runs, usable in dataset ids and artifact JSON, and ties every
+    ranked playbook row back to the routing state that produced it.
+    """
+    payload = repr(policy_fingerprint(policy)).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
 
 
 def internet_fingerprint(internet: Internet) -> tuple:
@@ -75,6 +91,11 @@ class CacheStats:
     def lookups(self) -> int:
         """Total number of get_or_compute calls."""
         return self.hits + self.full_computes + self.delta_computes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served straight from the LRU (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 @dataclass

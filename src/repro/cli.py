@@ -27,6 +27,11 @@ from repro.core.experiments import (
     run_stability_series,
     site_failure_study,
 )
+from repro.core.playbook import (
+    PlaybookPlanner,
+    derive_capacities,
+    format_playbook_table,
+)
 from repro.core.scenarios import SCALES, Scenario, broot_like, cdn_like, nl_like, tangled_like
 from repro.core.verfploeter import Verfploeter
 from repro.datasets import write_scan
@@ -319,6 +324,103 @@ def _cmd_failure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_playbook(args: argparse.Namespace) -> int:
+    from repro.traffic.attack import AttackProfile, compose_attack
+    from repro.load.weighting import weight_catchment
+
+    scenario = _build_scenario(args)
+    observer = _observer_for(args)
+    verfploeter = Verfploeter(
+        scenario.internet, scenario.service, observer=observer
+    )
+    # Fresh per-invocation cache (same reasoning as the sweep): two
+    # same-seed invocations emit byte-identical artifacts AND metrics.
+    planner = PlaybookPlanner(
+        verfploeter, cache=RoutingCache(maxsize=256, observer=observer)
+    )
+    pool = None
+    try:
+        if args.workers is not None:
+            from repro.core.pool import ShardPool
+
+            pool = ShardPool(workers=args.workers, observer=observer)
+        baseline_policy = scenario.service.default_policy()
+        baseline_catchment = planner.catchment_for(baseline_policy, pool=pool)
+        day = scenario.day_load("playbook-day")
+        baseline_estimate = LoadEstimate(day)
+        if pool is not None:
+            from repro.core.sharding import sharded_weight_catchment
+
+            baseline_load = sharded_weight_catchment(
+                baseline_catchment, baseline_estimate, pool=pool,
+                observer=observer,
+            )
+        else:
+            baseline_load = weight_catchment(
+                baseline_catchment, baseline_estimate, observer=observer
+            )
+        site_codes = scenario.service.site_codes
+        attacked = args.attack_site or max(
+            sorted(site_codes), key=baseline_load.daily_of
+        )
+        profile = AttackProfile(
+            target_site=attacked,
+            intensity=args.intensity,
+            hotspot_fraction=args.hotspot_fraction,
+            start_hour=args.start_hour,
+            duration_hours=args.duration_hours,
+        )
+        attack_day, attackers = compose_attack(
+            day, baseline_catchment, profile, scenario.internet.seed
+        )
+        capacities = derive_capacities(
+            baseline_load, site_codes, headroom=args.headroom
+        )
+        playbook = planner.plan(
+            LoadEstimate(attack_day),
+            attacked,
+            capacities,
+            max_prepend=args.max_prepend,
+            depth=args.depth,
+            parallel=args.parallel,
+            pool=pool,
+            attack=profile,
+            attacker_count=len(attackers),
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    attack_estimate = LoadEstimate(attack_day)
+    print(
+        f"attack on {attacked}: {len(attackers)} attacker /24s, "
+        f"{profile.intensity:g}x peak-hour rate for "
+        f"{profile.duration_hours}h from {profile.start_hour:02d}:00 UTC "
+        f"(day peaks at {attack_estimate.peak_qph() / baseline_estimate.peak_qph():.1f}x normal)"
+    )
+    print(format_playbook_table(playbook, top=args.top))
+    rec = playbook.recommendation
+    verdict = (
+        "keeps every announcing site under capacity"
+        if rec.clears_violations
+        else "best effort - violations remain"
+    )
+    print(
+        f"recommended config: {rec.label} ({rec.config_id}); "
+        f"absorber {rec.absorber}; {verdict}"
+    )
+    if args.out:
+        meta = run_metadata(
+            scenario=args.scenario,
+            scale=args.scale,
+            seed=scenario.internet.seed,
+        )
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(playbook.to_json(meta=meta) + "\n")
+        print(f"wrote playbook artifact to {args.out}")
+    _emit_observability(args, observer, scenario)
+    return 0
+
+
 def _cmd_suggest(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     observer = _observer_for(args)
@@ -488,6 +590,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(failure)
     failure.add_argument("--site", default=None, help="only withdraw this site")
     failure.set_defaults(handler=_cmd_failure)
+
+    playbook = commands.add_parser(
+        "playbook",
+        help="DDoS playbook: ranked mitigation configs for an attacked site",
+    )
+    _add_common(playbook)
+    playbook.add_argument(
+        "--attack-site", default=None, metavar="SITE",
+        help="the site the attack hotspot targets "
+             "(default: the heaviest-loaded site)",
+    )
+    playbook.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="attack rate as a multiple of the day's peak-hour rate",
+    )
+    playbook.add_argument(
+        "--hotspot-fraction", type=float, default=0.5,
+        help="share of the target catchment's blocks sourcing attack traffic",
+    )
+    playbook.add_argument(
+        "--start-hour", type=int, default=12,
+        help="UTC hour the attack window opens",
+    )
+    playbook.add_argument(
+        "--duration-hours", type=int, default=4,
+        help="attack window length in hours",
+    )
+    playbook.add_argument(
+        "--max-prepend", type=int, default=3,
+        help="deepest AS-path prepend in the config lattice",
+    )
+    playbook.add_argument(
+        "--depth", type=int, choices=(1, 2), default=2,
+        help="lattice depth: 1 = attacked-site actions only, "
+             "2 = pair each with a second site's prepend",
+    )
+    playbook.add_argument(
+        "--headroom", type=float, default=3.0,
+        help="per-site capacity as a multiple of its normal peak hour",
+    )
+    playbook.add_argument(
+        "--top", type=int, default=8,
+        help="ranked configs to print (the artifact always has all)",
+    )
+    playbook.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="evaluate candidates on N threads (byte-identical to serial)",
+    )
+    playbook.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard scans and load joins over N worker processes "
+             "(0 runs the sharded path inline; byte-identical again)",
+    )
+    playbook.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the ranked playbook artifact as canonical JSON",
+    )
+    playbook.set_defaults(handler=_cmd_playbook)
 
     suggest = commands.add_parser("suggest", help="suggest new sites from RTTs")
     _add_common(suggest)

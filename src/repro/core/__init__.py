@@ -18,6 +18,14 @@ from repro.core.scenarios import (
 )
 from repro.core.fastscan import FastScanEngine
 from repro.core.planning import evaluate_site_addition, find_upstream_near
+from repro.core.playbook import (
+    Playbook,
+    PlaybookEntry,
+    PlaybookPlanner,
+    derive_capacities,
+    enumerate_lattice,
+    format_playbook_table,
+)
 from repro.core.verfploeter import ScanResult, ScanStats, Verfploeter
 
 __all__ = [
@@ -40,4 +48,10 @@ __all__ = [
     "FastScanEngine",
     "evaluate_site_addition",
     "find_upstream_near",
+    "Playbook",
+    "PlaybookEntry",
+    "PlaybookPlanner",
+    "derive_capacities",
+    "enumerate_lattice",
+    "format_playbook_table",
 ]

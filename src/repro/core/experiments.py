@@ -11,7 +11,7 @@ scenarios out across a thread pool; results keep configuration order.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.atlas.platform import AtlasPlatform
@@ -27,7 +27,12 @@ from repro.analysis.results import (
 from repro.collector.results import ScanResult
 from repro.core.verfploeter import Verfploeter
 from repro.load.estimator import LoadEstimate
-from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+from repro.load.weighting import (
+    UNKNOWN,
+    SiteLoad,
+    capacity_violations,
+    weight_catchment,
+)
 
 _T = TypeVar("_T")
 
@@ -195,9 +200,32 @@ class SiteFailureResult:
     baseline: Dict[str, float]
     after: Dict[str, float]
     scan: ScanResult
+    peak_baseline: Dict[str, float] = field(default_factory=dict)
+    peak_after: Dict[str, float] = field(default_factory=dict)
+
+    def overloaded_sites(self, capacities: Mapping[str, float]) -> List[str]:
+        """Survivors pushed past capacity by this withdrawal.
+
+        Uses the repo's single pinned capacity definition
+        (:func:`repro.load.weighting.capacity_violations`): **peak
+        hourly** load compared strictly against capacity, with the
+        withdrawn site excluded — identical semantics to the playbook
+        planner (:mod:`repro.core.playbook`), so a withdrawal that this
+        study calls safe is exactly one the planner would rank
+        violation-free.
+        """
+        return capacity_violations(
+            self.peak_after, dict(capacities), exclude=(self.withdrawn_site,)
+        )
 
     def overload_factor(self, site_code: str) -> float:
-        """Load multiple at ``site_code`` after the withdrawal."""
+        """Load multiple at ``site_code`` after the withdrawal.
+
+        A **daily**-load ratio: useful for "how many times its normal
+        traffic does the survivor now carry", not a capacity check —
+        capacity questions go through :meth:`overloaded_sites`, which
+        compares peak hourly loads.
+        """
         before = self.baseline.get(site_code, 0.0)
         if before <= 0:
             return float("inf") if self.after.get(site_code, 0.0) > 0 else 1.0
@@ -287,6 +315,9 @@ def site_failure_study(
             code: baseline_load.daily_of(code)
             for code in (*service.site_codes, UNKNOWN)
         }
+        peak_baseline = {
+            code: baseline_load.peak_of(code) for code in service.site_codes
+        }
         study_sites = list(sites or service.site_codes)
 
         def withdraw_site(index: int) -> SiteFailureResult:
@@ -317,11 +348,17 @@ def site_failure_study(
                 code: after_load.daily_of(code)
                 for code in (*service.site_codes, UNKNOWN)
             }
+            peak_after = {
+                code: after_load.peak_of(code)
+                for code in service.site_codes
+            }
             return SiteFailureResult(
                 withdrawn_site=site_code,
                 baseline=baseline,
                 after=after,
                 scan=scan,
+                peak_baseline=peak_baseline,
+                peak_after=peak_after,
             )
 
         return _run_indexed(withdraw_site, len(study_sites), parallel)

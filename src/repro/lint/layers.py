@@ -11,7 +11,11 @@ layered-architecture reading of the DAG
 
 with four additions reflecting the tree as it actually is:
 
-* ``anycast`` (sites, service, catchment value types) sits with ``bgp``;
+* ``anycast`` (sites, service, catchment value types) sits with ``bgp``
+  — and ``traffic.attack`` leans on this: it reads catchment value
+  types (a within-layer import) to concentrate attack hotspots, while
+  the planner consuming it (``core.playbook``) sits at layer 4 with
+  the other experiment drivers;
 * ``lint`` (this tool) is layer 0 — it may import only ``errors`` and
   its layer-0 sibling ``obs`` (the engine reports spans and cache
   counters through an observer);

@@ -2,7 +2,12 @@
 
 from repro.load.estimator import LoadEstimate
 from repro.load.prediction import PredictionComparison, compare_prediction
-from repro.load.weighting import UNKNOWN, SiteLoad, weight_catchment
+from repro.load.weighting import (
+    UNKNOWN,
+    SiteLoad,
+    capacity_violations,
+    weight_catchment,
+)
 from repro.load.windowed import LoadWindow
 
 __all__ = [
@@ -11,6 +16,7 @@ __all__ = [
     "SiteLoad",
     "UNKNOWN",
     "weight_catchment",
+    "capacity_violations",
     "PredictionComparison",
     "compare_prediction",
 ]

@@ -74,6 +74,30 @@ class LoadEstimate:
                 self._hourly_matrix = queries
         return self._hourly_matrix
 
+    def hourly_totals(self) -> np.ndarray:
+        """Total load per UTC hour across all blocks (length-24 vector)."""
+        return self.hourly_matrix().sum(axis=0)
+
+    def peak_qph(self) -> float:
+        """Peak queries/hour over the day (max of :meth:`hourly_totals`).
+
+        Peak vs mean matters: capacity planning throughout the repo
+        compares **peaks** against provisioned capacity
+        (:func:`repro.load.weighting.capacity_violations`), because
+        diurnal days and volumetric attacks concentrate load into a few
+        bins.  :meth:`mean_qph` exists for reporting ratios only — it
+        must never be the quantity compared against a capacity.
+        """
+        return float(self.hourly_totals().max())
+
+    def mean_qph(self) -> float:
+        """Mean queries/hour over the day (total / 24).
+
+        Reporting-only companion to :meth:`peak_qph` — see the
+        peak-vs-mean note there.
+        """
+        return self.total() / 24.0
+
     def heaviest(self, count: int) -> List[Tuple[int, float]]:
         """Heaviest ``count`` blocks as ``(block, daily load)``.
 

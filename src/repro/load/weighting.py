@@ -18,7 +18,7 @@ reference loop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -67,6 +67,24 @@ class SiteLoad:
         view.flags.writeable = False
         return view
 
+    def peak_of(self, site_code: str) -> float:
+        """Peak hourly load at ``site_code`` (max over the 24 bins).
+
+        This — not the daily mean — is the repo's capacity-comparison
+        quantity: a site overloads in its busiest hour, and volumetric
+        attacks (:mod:`repro.traffic.attack`) concentrate whole daily
+        volumes into a few bins, which a mean would dilute ~6x.  See
+        :func:`capacity_violations` for the pinned semantics.
+        """
+        vector = self._hourly.get(site_code)
+        if vector is None or vector.size == 0:
+            return 0.0
+        return float(vector.max())
+
+    def peaks(self) -> Dict[str, float]:
+        """Peak hourly load per site (``UNK`` excluded)."""
+        return {code: self.peak_of(code) for code in self.site_codes}
+
     def total(self, include_unknown: bool = True) -> float:
         """Total daily load."""
         total = sum(self._daily.get(code, 0.0) for code in self.site_codes)
@@ -105,6 +123,37 @@ class SiteLoad:
         if not total:
             return {code: 0.0 for code in codes}
         return {code: self._daily.get(code, 0.0) / total for code in codes}
+
+
+def capacity_violations(
+    peaks: Dict[str, float],
+    capacities: Dict[str, float],
+    exclude: Sequence[str] = (),
+) -> List[str]:
+    """Sites whose peak hourly load **strictly exceeds** their capacity.
+
+    This is the single capacity definition shared by
+    :func:`repro.core.experiments.site_failure_study` and the playbook
+    planner (:mod:`repro.core.playbook`), pinned by boundary tests:
+
+    * the compared quantity is the **peak hourly** load
+      (:meth:`SiteLoad.peak_of`), never the daily total or its mean —
+      a site that survives on average but melts at 14:00 UTC is down;
+    * a site **exactly at** capacity is *not* in violation (strict
+      ``>``): capacity is the highest sustainable rate, not the first
+      failing one;
+    * sites without a declared capacity are unconstrained, and
+      ``exclude`` (withdrawn sites, the ``UNK`` bucket) never violate —
+      a site that is not announcing serves nothing.
+
+    Returns the violating site codes sorted lexicographically.
+    """
+    excluded = set(exclude) | {UNKNOWN}
+    return [
+        code
+        for code in sorted(capacities)
+        if code not in excluded and peaks.get(code, 0.0) > capacities[code]
+    ]
 
 
 def _weight_reference(

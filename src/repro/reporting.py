@@ -166,6 +166,41 @@ def generate_full_report(
         ),
     ))
 
+    from repro.core.playbook import (
+        PlaybookPlanner,
+        derive_capacities,
+        format_playbook_table,
+    )
+    from repro.traffic.attack import AttackProfile, compose_attack
+
+    planner = PlaybookPlanner(verfploeter, cache=cache)
+    attacked = max(
+        sorted(scenario.service.site_codes), key=predicted.daily_of
+    )
+    attack_profile = AttackProfile(target_site=attacked)
+    attack_day, attackers = compose_attack(
+        load, scan.catchment, attack_profile, scenario.internet.seed
+    )
+    playbook = planner.plan(
+        LoadEstimate(attack_day),
+        attacked,
+        derive_capacities(predicted, scenario.service.site_codes),
+        max_prepend=2,
+        depth=1,
+        attack=attack_profile,
+        attacker_count=len(attackers),
+    )
+    recommendation = playbook.recommendation
+    parts.append(_section(
+        "DDoS playbook (extension, Anycast Agility)",
+        format_playbook_table(playbook, top=6)
+        + f"\nrecommended config: {recommendation.label}; "
+        f"absorber {recommendation.absorber}; "
+        + ("clears all capacity violations"
+           if recommendation.clears_violations
+           else "violations remain (see docs/playbooks.md)"),
+    ))
+
     parts.append(_section(
         "Latency inflation (extension, paper §7)",
         format_inflation_table(

@@ -7,6 +7,12 @@ heavy-tailed rates, NAT-dense regions, and ping-unresponsive blocks
 that still send real traffic.
 """
 
+from repro.traffic.attack import (
+    AttackProfile,
+    attack_day_load,
+    compose_attack,
+    hotspot_blocks,
+)
 from repro.traffic.ditl import build_day_load
 from repro.traffic.logs import DayLoad, LoadKind
 from repro.traffic.names import QueryNameSampler
@@ -23,4 +29,8 @@ __all__ = [
     "nl_profile",
     "build_day_load",
     "QueryNameSampler",
+    "AttackProfile",
+    "attack_day_load",
+    "compose_attack",
+    "hotspot_blocks",
 ]

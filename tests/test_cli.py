@@ -28,7 +28,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "scan", "sweep", "stability", "coverage",
-            "loadmap", "failure", "suggest",
+            "loadmap", "failure", "suggest", "playbook",
         ):
             args = parser.parse_args([command] + TINY + (
                 ["--rounds", "2"] if command == "stability" else []
